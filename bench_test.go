@@ -1,0 +1,187 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (one testing.B benchmark per exhibit), plus ablation benches
+// for the design choices DESIGN.md calls out.
+//
+// Each benchmark executes its figure end to end — deploy, load, warm up,
+// measure — on the quick configuration (scale 1/1000, 1/2/4 nodes), and
+// reports the figure's headline value as a custom metric so -benchmem runs
+// double as a coarse regression check. For paper-scale output use
+// cmd/apmbench.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func clusterM4() cluster.Spec       { return cluster.ClusterM(4) }
+func keyOf(i int64) string          { return store.Key(i) }
+func fieldsOf(i int64) store.Fields { return store.MakeFields(i) }
+
+// benchCfg is the shared quick-fidelity configuration. A single cached
+// runner is shared across benchmarks so figures over the same cells (e.g.
+// Fig 3/4/5) measure each cell once.
+var benchRunner = harness.NewRunner(harness.Config{
+	Scale:          0.001,
+	Warmup:         200 * sim.Millisecond,
+	Measure:        600 * sim.Millisecond,
+	NodeCounts:     []int{1, 2, 4},
+	RecordsPerNode: 10_000_000,
+})
+
+// runFigureBench executes the figure generator b.N times and reports the
+// mean of the last series' final Y value.
+func runFigureBench(b *testing.B, gen func() (harness.Figure, error), metricName string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		fig, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) > 0 && len(fig.Series[0].Y) > 0 {
+			s := fig.Series[0]
+			last = s.Y[len(s.Y)-1]
+		}
+	}
+	b.ReportMetric(last, metricName)
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig03ThroughputR(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig3, "cassandra_ops/s")
+}
+
+func BenchmarkFig04ReadLatencyR(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig4, "cassandra_read_ms")
+}
+
+func BenchmarkFig05WriteLatencyR(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig5, "cassandra_write_ms")
+}
+
+func BenchmarkFig06ThroughputRW(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig6, "cassandra_ops/s")
+}
+
+func BenchmarkFig07ReadLatencyRW(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig7, "cassandra_read_ms")
+}
+
+func BenchmarkFig08WriteLatencyRW(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig8, "cassandra_write_ms")
+}
+
+func BenchmarkFig09ThroughputW(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig9, "cassandra_ops/s")
+}
+
+func BenchmarkFig10ReadLatencyW(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig10, "cassandra_read_ms")
+}
+
+func BenchmarkFig11WriteLatencyW(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig11, "cassandra_write_ms")
+}
+
+func BenchmarkFig12ThroughputRS(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig12, "cassandra_ops/s")
+}
+
+func BenchmarkFig13ScanLatencyRS(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig13, "cassandra_scan_ms")
+}
+
+func BenchmarkFig14ThroughputRSW(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig14, "cassandra_ops/s")
+}
+
+func BenchmarkFig15BoundedReadLatency(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig15, "cassandra_norm")
+}
+
+func BenchmarkFig16BoundedWriteLatency(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig16, "cassandra_norm")
+}
+
+func BenchmarkFig17DiskUsage(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig17, "cassandra_gb")
+}
+
+func BenchmarkFig18ClusterDThroughput(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig18, "cassandra_ops/s")
+}
+
+func BenchmarkFig19ClusterDReadLatency(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig19, "cassandra_read_ms")
+}
+
+func BenchmarkFig20ClusterDWriteLatency(b *testing.B) {
+	runFigureBench(b, benchRunner.Fig20, "cassandra_write_ms")
+}
+
+func BenchmarkAblationCassandraTokens(b *testing.B) {
+	runFigureBench(b, benchRunner.AblationCassandraTokens, "optimal_ops/s")
+}
+
+func BenchmarkAblationRedisSharding(b *testing.B) {
+	runFigureBench(b, benchRunner.AblationRedisSharding, "jedis_ops/s")
+}
+
+func BenchmarkAblationMySQLBinlog(b *testing.B) {
+	runFigureBench(b, benchRunner.AblationMySQLBinlog, "binlog_gb")
+}
+
+func BenchmarkAblationHBaseAutoflush(b *testing.B) {
+	runFigureBench(b, benchRunner.AblationHBaseAutoflush, "buffered_ops/s")
+}
+
+func BenchmarkAblationVoltDBAsync(b *testing.B) {
+	runFigureBench(b, benchRunner.AblationVoltDBAsync, "sync_ops/s")
+}
+
+func BenchmarkAblationCassandraCommitlog(b *testing.B) {
+	runFigureBench(b, benchRunner.AblationCassandraCommitlog, "write_ms")
+}
+
+// BenchmarkSingleOps measures the per-operation simulation cost for each
+// store (how fast the simulator itself runs, not the simulated latency).
+func BenchmarkSingleOps(b *testing.B) {
+	for _, sys := range harness.AllSystems {
+		b.Run(string(sys), func(b *testing.B) {
+			dep, err := harness.Deploy(1, sys, clusterM4(), 0.001)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := int64(0); i < 1000; i++ {
+				dep.Store.Load(keyOf(i), fieldsOf(i))
+			}
+			b.ResetTimer()
+			dep.Engine.Go("bench", func(p *sim.Proc) {
+				for i := 0; i < b.N; i++ {
+					dep.Store.Read(p, keyOf(int64(i%1000)))
+				}
+			})
+			dep.Engine.Run(0)
+		})
+	}
+}
+
+func BenchmarkAblationCassandraReplication(b *testing.B) {
+	runFigureBench(b, benchRunner.AblationCassandraReplication, "rf1_ops/s")
+}
+
+func BenchmarkAblationCassandraCompression(b *testing.B) {
+	runFigureBench(b, benchRunner.AblationCassandraCompression, "tput_off_ops/s")
+}

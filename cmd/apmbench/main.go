@@ -1,0 +1,180 @@
+// Command apmbench regenerates the paper's evaluation: every figure
+// (Figs 3–20) and Table 1, printed as text tables with the same series the
+// paper plots.
+//
+// Usage:
+//
+//	apmbench -figure 3              # one figure
+//	apmbench -figure all            # everything (takes a while)
+//	apmbench -figure table1         # the workload table
+//	apmbench -figure ablation-all   # design-choice ablations
+//	apmbench -scale 0.02 -measure 4 # higher fidelity
+//
+// The -scale flag multiplies record counts and node RAM/disk together, so
+// memory-vs-disk behaviour matches the paper at any scale; see DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "figure id (3..20), 'table1', 'all', or an ablation name (see -list)")
+		scale   = flag.Float64("scale", 0.01, "record-count and hardware scale factor")
+		measure = flag.Float64("measure", 2.0, "measurement window, virtual seconds")
+		warmup  = flag.Float64("warmup", 0.5, "warmup, virtual seconds")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		nodes   = flag.String("nodes", "1,2,4,8,12", "comma-separated node counts")
+		list    = flag.Bool("list", false, "list available figures and exit")
+		quiet   = flag.Bool("quiet", false, "suppress per-cell progress output")
+		format  = flag.String("format", "table", "output format: table or csv")
+		explain = flag.String("explain", "", "diagnose one cell: system:nodes:workload[:D], e.g. cassandra:4:R or hbase:8:W:D")
+		reps    = flag.Int("reps", 1, "independent executions to average per cell")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Scale:       *scale,
+		Measure:     sim.Time(*measure * float64(sim.Second)),
+		Warmup:      sim.Time(*warmup * float64(sim.Second)),
+		Seed:        *seed,
+		NodeCounts:  parseNodes(*nodes),
+		Repetitions: *reps,
+	}
+	outputFormat = *format
+	r := harness.NewRunner(cfg)
+	if !*quiet {
+		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	if *list {
+		fmt.Println("figures: table1", strings.Join(harness.FigureOrder, " "))
+		fmt.Println("ablations:", strings.Join(ablationNames(r), " "))
+		return
+	}
+
+	if *explain != "" {
+		runExplain(r, *explain)
+		return
+	}
+
+	switch *figure {
+	case "table1":
+		fmt.Print(harness.Table1())
+	case "all":
+		fmt.Print(harness.Table1())
+		fmt.Println()
+		for _, id := range harness.FigureOrder {
+			runFigure(r, id)
+			fmt.Println()
+		}
+	case "ablation-all":
+		for _, name := range ablationNames(r) {
+			runAblation(r, name)
+			fmt.Println()
+		}
+	default:
+		if strings.HasPrefix(*figure, "ablation-") {
+			runAblation(r, *figure)
+			return
+		}
+		for _, id := range strings.Split(*figure, ",") {
+			runFigure(r, strings.TrimSpace(id))
+			fmt.Println()
+		}
+	}
+}
+
+func parseNodes(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err == nil && n > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func runFigure(r *harness.Runner, id string) {
+	gen, ok := r.Figures()[id]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "apmbench: unknown figure %q (try -list)\n", id)
+		os.Exit(2)
+	}
+	fig, err := gen()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apmbench: figure %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	emit(fig)
+}
+
+func ablationNames(r *harness.Runner) []string {
+	var names []string
+	for name := range r.Ablations() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func runAblation(r *harness.Runner, name string) {
+	gen, ok := r.Ablations()[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "apmbench: unknown ablation %q (try -list)\n", name)
+		os.Exit(2)
+	}
+	fig, err := gen()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apmbench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	emit(fig)
+}
+
+// outputFormat is set from -format in main.
+var outputFormat = "table"
+
+func emit(fig harness.Figure) {
+	if outputFormat == "csv" {
+		fmt.Print(fig.RenderCSV())
+		return
+	}
+	fmt.Print(fig.Render())
+}
+
+// runExplain parses system:nodes:workload[:D] and prints the utilization
+// report for that cell.
+func runExplain(r *harness.Runner, spec string) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 {
+		fmt.Fprintln(os.Stderr, "apmbench: -explain wants system:nodes:workload[:D]")
+		os.Exit(2)
+	}
+	var nodes int
+	if _, err := fmt.Sscanf(parts[1], "%d", &nodes); err != nil || nodes < 1 {
+		fmt.Fprintf(os.Stderr, "apmbench: bad node count %q\n", parts[1])
+		os.Exit(2)
+	}
+	cell := harness.Cell{
+		System:   harness.System(parts[0]),
+		Nodes:    nodes,
+		Workload: parts[2],
+		ClusterD: len(parts) > 3 && strings.EqualFold(parts[3], "D"),
+	}
+	ex, err := r.Explain(cell)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apmbench: explain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(ex.Render())
+}

@@ -1,0 +1,50 @@
+// Command apmload runs the load phase alone and reports per-node disk
+// usage, reproducing the Fig 17 measurement for one system at a time.
+//
+//	apmload -system cassandra -nodes 12
+//	apmload -system all -nodes 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "all", "system to load (cassandra|hbase|voldemort|mysql|all)")
+		nodes  = flag.Int("nodes", 4, "cluster size")
+		scale  = flag.Float64("scale", 0.01, "record and hardware scale factor")
+	)
+	flag.Parse()
+
+	r := harness.NewRunner(harness.Config{Scale: *scale})
+	systems := harness.DiskSystems
+	if *system != "all" {
+		systems = []harness.System{harness.System(*system)}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\tnodes\trecords (paper scale)\tdisk total\tper node\tbytes/record")
+	for _, sys := range systems {
+		res, err := r.LoadOnly(sys, *nodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apmload: %s: %v\n", sys, err)
+			os.Exit(1)
+		}
+		records := float64(r.Cfg.RecordsPerNode) * float64(*nodes)
+		fmt.Fprintf(w, "%s\t%d\t%.0fM\t%.2f GB\t%.2f GB\t%.0f\n",
+			sys, *nodes, records/1e6,
+			res.DiskBytesPaperScale/1e9,
+			res.DiskBytesPaperScale/float64(*nodes)/1e9,
+			res.DiskBytesPaperScale/records)
+	}
+	w.Flush()
+	fmt.Printf("\nraw data: %.2f GB (%d bytes/record x %.0fM records)\n",
+		float64(r.Cfg.RecordsPerNode)*float64(*nodes)*70/1e9, 70,
+		float64(r.Cfg.RecordsPerNode)*float64(*nodes)/1e6)
+}

@@ -1,0 +1,41 @@
+// Comparison: a miniature of the paper's Figure 3 — maximum throughput of
+// all six stores on 1 and 4 nodes under the read-intensive Workload R —
+// using the harness's cached cell runner.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	r := harness.NewRunner(harness.Config{
+		Scale:   0.005,
+		Warmup:  300 * sim.Millisecond,
+		Measure: sim.Second,
+	})
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\tnodes\tthroughput\tread lat\twrite lat")
+	for _, sys := range harness.AllSystems {
+		for _, nodes := range []int{1, 4} {
+			res, err := r.Run(harness.Cell{System: sys, Nodes: nodes, Workload: "R"})
+			if err != nil {
+				log.Fatalf("%s n=%d: %v", sys, nodes, err)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.0f ops/s\t%v\t%v\n",
+				sys, nodes, res.Throughput, res.ReadLat, res.WriteLat)
+		}
+	}
+	w.Flush()
+	fmt.Println("\n(compare the shape against Figure 3 of the paper: Redis/VoltDB")
+	fmt.Println(" lead on one node; Cassandra/Voldemort/HBase scale linearly;")
+	fmt.Println(" VoltDB loses throughput with more nodes under a synchronous client)")
+}

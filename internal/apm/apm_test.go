@@ -1,0 +1,221 @@
+package apm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/stores/hbase"
+)
+
+func TestKeyOrderedByTimestamp(t *testing.T) {
+	a := Measurement{Metric: "HostA/x", Timestamp: 100}.Key()
+	b := Measurement{Metric: "HostA/x", Timestamp: 99}.Key()
+	c := Measurement{Metric: "HostA/x", Timestamp: 1000}.Key()
+	if !(b < a && a < c) {
+		t.Fatalf("keys not time ordered: %q %q %q", b, a, c)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := Measurement{
+		Metric: "HostA/AgentX/ServletB/AverageResponseTime",
+		Value:  4, Min: 1, Max: 6, Timestamp: 1332988833, Duration: 15,
+	}
+	got, err := Decode(m.Key(), m.Fields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: got %+v, want %+v", got, m)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	if _, err := Decode("nopipe", store.Fields{[]byte("1")}); err == nil {
+		t.Fatal("accepted key without separator")
+	}
+	m := Measurement{Metric: "a/b", Timestamp: 5}
+	f := m.Fields()
+	f[0] = []byte("notanumber")
+	if _, err := Decode(m.Key(), f); err == nil {
+		t.Fatal("accepted non-numeric value")
+	}
+}
+
+func TestAgentReportsAllMetricsEachInterval(t *testing.T) {
+	a := NewAgent("Host7", 50, 10)
+	rng := rand.New(rand.NewSource(1))
+	ms := a.Report(1000, rng.Float64)
+	if len(ms) != 50 {
+		t.Fatalf("reported %d measurements, want 50", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if m.Timestamp != 1000 || m.Duration != 10 {
+			t.Fatalf("bad timestamp/duration: %+v", m)
+		}
+		if m.Min > m.Value || m.Max < m.Value {
+			t.Fatalf("min/max do not bracket value: %+v", m)
+		}
+		if seen[m.Metric] {
+			t.Fatalf("duplicate metric %s", m.Metric)
+		}
+		seen[m.Metric] = true
+	}
+}
+
+func TestAgentWalkEvolves(t *testing.T) {
+	a := NewAgent("H", 1, 10)
+	rng := rand.New(rand.NewSource(2))
+	v1 := a.Report(10, rng.Float64)[0].Value
+	v2 := a.Report(20, rng.Float64)[0].Value
+	v3 := a.Report(30, rng.Float64)[0].Value
+	if v1 == v2 && v2 == v3 {
+		t.Fatal("random walk did not move")
+	}
+}
+
+func TestWindowAggregatesOverStore(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.ClusterM(2).Scale(0.01))
+	s := hbase.New(c, hbase.Options{MemstoreFlushBytes: 64 << 10})
+	metric := "HostA/Agent/Component000/ConnectionCount"
+	// 60 samples at 10s resolution (the paper's 10-minute scan window).
+	for i := int64(0); i < 60; i++ {
+		m := Measurement{Metric: metric, Value: float64(i), Min: float64(i), Max: float64(i),
+			Timestamp: 1000 + i*10, Duration: 10}
+		if err := s.Load(m.Key(), m.Fields()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Another metric that must not leak into the window.
+	other := Measurement{Metric: "HostB/Agent/Component000/ConnectionCount",
+		Value: 1e9, Max: 1e9, Timestamp: 1200, Duration: 10}
+	s.Load(other.Key(), other.Fields())
+
+	e.Go("q", func(p *sim.Proc) {
+		st, err := Window(p, s, metric, 1000, 1590)
+		if err != nil {
+			t.Errorf("window: %v", err)
+			return
+		}
+		if st.Count != 60 {
+			t.Errorf("count = %d, want 60 (ten minutes at 10s resolution)", st.Count)
+		}
+		if st.Max != 59 {
+			t.Errorf("max = %f, want 59", st.Max)
+		}
+		if st.Avg < 29 || st.Avg > 30 {
+			t.Errorf("avg = %f, want 29.5", st.Avg)
+		}
+	})
+	e.Run(0)
+}
+
+func TestWindowRespectsBounds(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.ClusterM(1).Scale(0.01))
+	s := hbase.New(c, hbase.Options{MemstoreFlushBytes: 64 << 10})
+	metric := "H/x"
+	for i := int64(0); i < 100; i++ {
+		m := Measurement{Metric: metric, Value: 1, Timestamp: i * 10, Duration: 10}
+		s.Load(m.Key(), m.Fields())
+	}
+	e.Go("q", func(p *sim.Proc) {
+		st, err := Window(p, s, metric, 200, 390)
+		if err != nil {
+			t.Errorf("window: %v", err)
+			return
+		}
+		if st.Count != 20 {
+			t.Errorf("count = %d, want 20 (only in-range samples)", st.Count)
+		}
+	})
+	e.Run(0)
+}
+
+func TestGroupAvgAcrossHosts(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.ClusterM(2).Scale(0.01))
+	s := hbase.New(c, hbase.Options{MemstoreFlushBytes: 64 << 10})
+	metrics := []string{"Web1/CPU", "Web2/CPU"}
+	for i, metric := range metrics {
+		for ts := int64(0); ts < 100; ts += 10 {
+			m := Measurement{Metric: metric, Value: float64(10 * (i + 1)), Timestamp: ts, Duration: 10}
+			s.Load(m.Key(), m.Fields())
+		}
+	}
+	e.Go("q", func(p *sim.Proc) {
+		avg, n, err := GroupAvg(p, s, metrics, 0, 95)
+		if err != nil {
+			t.Errorf("group avg: %v", err)
+			return
+		}
+		if n != 20 {
+			t.Errorf("n = %d, want 20", n)
+		}
+		if avg != 15 {
+			t.Errorf("avg = %f, want 15 (mean of 10 and 20)", avg)
+		}
+	})
+	e.Run(0)
+}
+
+func TestIngestRateMatchesPaperScenario(t *testing.T) {
+	// §1: 10K nodes x 10K metrics / 10s = 10M measurements/sec.
+	if got := IngestRate(10000, 10000, 10); got != 10_000_000 {
+		t.Fatalf("ingest = %f, want 10M/s", got)
+	}
+	// §8: 240 monitored nodes -> 240K inserts/sec.
+	if got := IngestRate(240, 10000, 10); got != 240_000 {
+		t.Fatalf("ingest = %f, want 240K/s", got)
+	}
+}
+
+func TestStorageNodesNeeded(t *testing.T) {
+	// §8: 240K inserts/s against a store that sustains ~20K/node needs 13
+	// nodes; the 5% budget for 240 hosts is 12 -> not within budget.
+	nodes, ok := StorageNodesNeeded(240_000, 20_000, 240, 0.05)
+	if nodes != 13 || ok {
+		t.Fatalf("nodes = %d ok = %v, want 13 over budget (paper's conclusion)", nodes, ok)
+	}
+	if _, ok := StorageNodesNeeded(100, 0, 10, 0.05); ok {
+		t.Fatal("zero throughput cannot be within budget")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary measurements.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(val, min, max float64, ts uint32, dur uint16) bool {
+		m := Measurement{Metric: "Host/A/B/Metric", Value: val, Min: min, Max: max,
+			Timestamp: int64(ts), Duration: int64(dur)}
+		got, err := Decode(m.Key(), m.Fields())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitoringLevelsScaleDataRate(t *testing.T) {
+	a := NewAgent("H", 100, 10)
+	rng := rand.New(rand.NewSource(3))
+	basic := a.ReportAt(10, Basic, rng.Float64)
+	trace := a.ReportAt(20, TransactionTrace, rng.Float64)
+	triage := a.ReportAt(30, IncidentTriage, rng.Float64)
+	if len(basic) != 10 || len(trace) != 50 || len(triage) != 100 {
+		t.Fatalf("levels = %d/%d/%d, want 10/50/100", len(basic), len(trace), len(triage))
+	}
+}
+
+func TestMonitoringLevelMinimumOneMetric(t *testing.T) {
+	a := NewAgent("H", 3, 10)
+	rng := rand.New(rand.NewSource(4))
+	if got := a.ReportAt(10, Basic, rng.Float64); len(got) != 1 {
+		t.Fatalf("basic on 3 metrics = %d, want floor of 1", len(got))
+	}
+}

@@ -1,0 +1,34 @@
+package apm_test
+
+import (
+	"fmt"
+
+	"repro/internal/apm"
+)
+
+// An APM measurement as in the paper's Figure 2, encoded to a storage
+// record and back.
+func ExampleMeasurement() {
+	m := apm.Measurement{
+		Metric:    "HostA/AgentX/ServletB/AverageResponseTime",
+		Value:     4,
+		Min:       1,
+		Max:       6,
+		Timestamp: 1332988833,
+		Duration:  15,
+	}
+	fmt.Println(m.Key())
+	back, _ := apm.Decode(m.Key(), m.Fields())
+	fmt.Println(back.Value, back.Min, back.Max, back.Duration)
+	// Output:
+	// HostA/AgentX/ServletB/AverageResponseTime|001332988833
+	// 4 1 6 15
+}
+
+// The paper's §1 sizing arithmetic: 10K nodes x 10K metrics at a 10-second
+// interval is 10 million measurements per second.
+func ExampleIngestRate() {
+	fmt.Printf("%.0f measurements/sec\n", apm.IngestRate(10000, 10000, 10))
+	// Output:
+	// 10000000 measurements/sec
+}

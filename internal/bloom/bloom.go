@@ -1,0 +1,93 @@
+// Package bloom implements a Bloom filter with double hashing, as used by
+// the SSTable/HFile read paths of Cassandra and HBase to skip files that
+// cannot contain a key.
+package bloom
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a standard Bloom filter. It is not safe for concurrent use.
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+	n     int // elements added
+}
+
+// New creates a filter sized for expectedN elements at the given target
+// false-positive probability (e.g. 0.01).
+func New(expectedN int, fpp float64) *Filter {
+	if expectedN < 1 {
+		expectedN = 1
+	}
+	if fpp <= 0 || fpp >= 1 {
+		fpp = 0.01
+	}
+	// Optimal sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	m := math.Ceil(-float64(expectedN) * math.Log(fpp) / (math.Ln2 * math.Ln2))
+	k := int(math.Round(m / float64(expectedN) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	nbits := uint64(m)
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &Filter{
+		bits:  make([]uint64, (nbits+63)/64),
+		nbits: nbits,
+		k:     k,
+	}
+}
+
+// hash2 derives two independent 64-bit hashes from key using FNV-1a over the
+// key and over the key with a salt byte appended.
+func hash2(key string) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write([]byte(key))
+	a := h1.Sum64()
+	h1.Write([]byte{0xA5})
+	b := h1.Sum64()
+	return a, b
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key string) {
+	a, b := hash2(key)
+	for i := 0; i < f.k; i++ {
+		idx := (a + uint64(i)*b) % f.nbits
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// MayContain reports whether key might have been added. False positives are
+// possible; false negatives are not.
+func (f *Filter) MayContain(key string) bool {
+	a, b := hash2(key)
+	for i := 0; i < f.k; i++ {
+		idx := (a + uint64(i)*b) % f.nbits
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// N returns the number of elements added.
+func (f *Filter) N() int { return f.n }
+
+// SizeBytes returns the in-memory size of the bit array.
+func (f *Filter) SizeBytes() int64 { return int64(len(f.bits) * 8) }
+
+// EstimatedFPP returns the theoretical false-positive probability given the
+// current fill.
+func (f *Filter) EstimatedFPP() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.n) / float64(f.nbits)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}

@@ -1,0 +1,117 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("key%06d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain(fmt.Sprintf("key%06d", i)) {
+			t.Fatalf("false negative for key%06d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	f := New(10000, 0.01)
+	for i := 0; i < 10000; i++ {
+		f.Add(fmt.Sprintf("present%08d", i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(fmt.Sprintf("absent%08d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %f, want <= 0.03 for 0.01 target", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(100, 0.01)
+	for i := 0; i < 100; i++ {
+		if f.MayContain(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("empty filter claims to contain k%d", i)
+		}
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	f := New(0, -1) // must not panic; falls back to sane defaults
+	f.Add("x")
+	if !f.MayContain("x") {
+		t.Fatal("added key not found")
+	}
+}
+
+func TestSizeGrowsWithN(t *testing.T) {
+	small := New(100, 0.01)
+	big := New(100000, 0.01)
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Fatalf("size(100k)=%d should exceed size(100)=%d", big.SizeBytes(), small.SizeBytes())
+	}
+}
+
+func TestEstimatedFPPIncreasesWithFill(t *testing.T) {
+	f := New(1000, 0.01)
+	if f.EstimatedFPP() != 0 {
+		t.Fatal("empty filter should estimate 0 fpp")
+	}
+	for i := 0; i < 500; i++ {
+		f.Add(fmt.Sprintf("a%d", i))
+	}
+	half := f.EstimatedFPP()
+	for i := 0; i < 1500; i++ {
+		f.Add(fmt.Sprintf("b%d", i))
+	}
+	if over := f.EstimatedFPP(); over <= half {
+		t.Fatalf("fpp should rise with fill: half=%f over=%f", half, over)
+	}
+}
+
+// Property: anything added is always found.
+func TestPropertyMembership(t *testing.T) {
+	f := func(keys []string) bool {
+		bf := New(len(keys)+1, 0.01)
+		for _, k := range keys {
+			bf.Add(k)
+		}
+		for _, k := range keys {
+			if !bf.MayContain(k) {
+				return false
+			}
+		}
+		return bf.N() == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(b.N+1, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add("some-benchmark-key-000001")
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := New(100000, 0.01)
+	for i := 0; i < 100000; i++ {
+		f.Add(fmt.Sprintf("key%08d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain("key00050000")
+	}
+}

@@ -1,0 +1,336 @@
+// Package btree implements a page-oriented B+tree with an LRU buffer pool,
+// modeling InnoDB (the paper's MySQL storage engine) and BerkeleyDB (the
+// storage engine the paper's Voldemort configuration embedded). Operations
+// return I/O statistics — pages touched, buffer-pool misses, dirty
+// write-backs — which the store models convert into simulated disk time.
+package btree
+
+import "sort"
+
+// Entry is a key with its field values.
+type Entry struct {
+	Key    string
+	Fields [][]byte
+}
+
+// Config parameterizes the tree.
+type Config struct {
+	PageSize    int64 // bytes per page (InnoDB: 16 KiB)
+	BufferPages int   // pages the buffer pool can hold
+	LeafCap     int   // entries per leaf page (encodes per-row overhead + fill factor)
+	InternalCap int   // children per internal page
+}
+
+func (c *Config) defaults() {
+	if c.PageSize == 0 {
+		c.PageSize = 16 << 10
+	}
+	if c.BufferPages == 0 {
+		c.BufferPages = 1024
+	}
+	if c.LeafCap == 0 {
+		c.LeafCap = 64
+	}
+	if c.InternalCap == 0 {
+		c.InternalCap = 256
+	}
+}
+
+// IOStats reports the page traffic of one operation.
+type IOStats struct {
+	PagesTouched    int // buffer pool lookups
+	Misses          int // pages that had to come from disk
+	DirtyWritebacks int // dirty pages evicted to make room
+}
+
+// Add accumulates other into s.
+func (s *IOStats) Add(other IOStats) {
+	s.PagesTouched += other.PagesTouched
+	s.Misses += other.Misses
+	s.DirtyWritebacks += other.DirtyWritebacks
+}
+
+type node struct {
+	id       int
+	leaf     bool
+	keys     []string // internal: separators (len == len(children)-1); leaf: entry keys
+	children []*node  // internal only
+	vals     [][][]byte
+	next     *node // leaf chain
+}
+
+// Tree is a B+tree with buffer-pool accounting.
+type Tree struct {
+	cfg    Config
+	root   *node
+	height int
+	nextID int
+	n      int
+	pages  int
+
+	pool *lru
+}
+
+// New creates an empty tree.
+func New(cfg Config) *Tree {
+	cfg.defaults()
+	t := &Tree{cfg: cfg, pool: newLRU(cfg.BufferPages)}
+	t.root = t.newNode(true)
+	t.height = 1
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *node {
+	t.nextID++
+	t.pages++
+	n := &node{id: t.nextID, leaf: leaf}
+	return n
+}
+
+// touch records a buffer pool access to page id; dirty marks it modified.
+func (t *Tree) touch(io *IOStats, id int, dirty bool) {
+	io.PagesTouched++
+	miss, wb := t.pool.access(id, dirty)
+	if miss {
+		io.Misses++
+	}
+	if wb {
+		io.DirtyWritebacks++
+	}
+}
+
+// admit registers a freshly allocated page in the pool: it is dirty but was
+// never on disk, so no read miss is charged (evicting a victim may still
+// cost a write-back).
+func (t *Tree) admit(io *IOStats, id int) {
+	io.PagesTouched++
+	_, wb := t.pool.access(id, true)
+	if wb {
+		io.DirtyWritebacks++
+	}
+}
+
+// Get returns the fields for key.
+func (t *Tree) Get(key string) ([][]byte, bool, IOStats) {
+	var io IOStats
+	n := t.root
+	for {
+		t.touch(&io, n.id, false)
+		if n.leaf {
+			i := sort.SearchStrings(n.keys, key)
+			if i < len(n.keys) && n.keys[i] == key {
+				return n.vals[i], true, io
+			}
+			return nil, false, io
+		}
+		n = n.children[childIndex(n.keys, key)]
+	}
+}
+
+// childIndex picks the subtree for key: children[i] covers keys < keys[i].
+func childIndex(seps []string, key string) int {
+	return sort.Search(len(seps), func(i int) bool { return key < seps[i] })
+}
+
+// Put inserts or replaces key.
+func (t *Tree) Put(key string, fields [][]byte) IOStats {
+	var io IOStats
+	sep, right := t.insert(t.root, key, fields, &io)
+	if right != nil {
+		newRoot := t.newNode(false)
+		newRoot.keys = []string{sep}
+		newRoot.children = []*node{t.root, right}
+		t.root = newRoot
+		t.height++
+		t.admit(&io, newRoot.id)
+	}
+	return io
+}
+
+// insert descends to the leaf; returns a separator and new right node if
+// this subtree split.
+func (t *Tree) insert(n *node, key string, fields [][]byte, io *IOStats) (string, *node) {
+	t.touch(io, n.id, true)
+	if n.leaf {
+		i := sort.SearchStrings(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = fields
+			return "", nil
+		}
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = fields
+		t.n++
+		if len(n.keys) <= t.cfg.LeafCap {
+			return "", nil
+		}
+		return t.splitLeaf(n, io)
+	}
+	ci := childIndex(n.keys, key)
+	sep, right := t.insert(n.children[ci], key, fields, io)
+	if right == nil {
+		return "", nil
+	}
+	n.keys = append(n.keys, "")
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.children) <= t.cfg.InternalCap {
+		return "", nil
+	}
+	return t.splitInternal(n, io)
+}
+
+func (t *Tree) splitLeaf(n *node, io *IOStats) (string, *node) {
+	mid := len(n.keys) / 2
+	right := t.newNode(true)
+	right.keys = append(right.keys, n.keys[mid:]...)
+	right.vals = append(right.vals, n.vals[mid:]...)
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	right.next = n.next
+	n.next = right
+	t.admit(io, right.id)
+	return right.keys[0], right
+}
+
+func (t *Tree) splitInternal(n *node, io *IOStats) (string, *node) {
+	midKey := len(n.keys) / 2
+	sep := n.keys[midKey]
+	right := t.newNode(false)
+	right.keys = append(right.keys, n.keys[midKey+1:]...)
+	right.children = append(right.children, n.children[midKey+1:]...)
+	n.keys = n.keys[:midKey:midKey]
+	n.children = n.children[: midKey+1 : midKey+1]
+	t.admit(io, right.id)
+	return sep, right
+}
+
+// Scan returns up to count entries with keys >= start, walking the leaf
+// chain (one page touch per leaf visited).
+func (t *Tree) Scan(start string, count int) ([]Entry, IOStats) {
+	var io IOStats
+	n := t.root
+	for !n.leaf {
+		t.touch(&io, n.id, false)
+		n = n.children[childIndex(n.keys, start)]
+	}
+	var out []Entry
+	for n != nil && len(out) < count {
+		t.touch(&io, n.id, false)
+		i := sort.SearchStrings(n.keys, start)
+		for ; i < len(n.keys) && len(out) < count; i++ {
+			out = append(out, Entry{Key: n.keys[i], Fields: n.vals[i]})
+		}
+		n = n.next
+	}
+	return out, io
+}
+
+// ScanAllFrom visits every entry with key >= start without materializing
+// them, returning how many entries and pages were touched. It models the
+// paper's observation that the YCSB RDBMS client's scan "retrieves all
+// records with a key equal or greater than the start key" (§5.4).
+func (t *Tree) ScanAllFrom(start string) (entries int, io IOStats) {
+	n := t.root
+	for !n.leaf {
+		t.touch(&io, n.id, false)
+		n = n.children[childIndex(n.keys, start)]
+	}
+	first := true
+	for n != nil {
+		t.touch(&io, n.id, false)
+		i := 0
+		if first {
+			i = sort.SearchStrings(n.keys, start)
+			first = false
+		}
+		entries += len(n.keys) - i
+		n = n.next
+	}
+	return entries, io
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.n }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Pages returns the number of allocated pages.
+func (t *Tree) Pages() int { return t.pages }
+
+// DiskBytes returns the on-disk footprint (pages x page size).
+func (t *Tree) DiskBytes() int64 { return int64(t.pages) * t.cfg.PageSize }
+
+// lru is a fixed-capacity page cache with dirty tracking.
+type lru struct {
+	cap   int
+	items map[int]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	id         int
+	dirty      bool
+	prev, next *lruNode
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, items: make(map[int]*lruNode)}
+}
+
+func (l *lru) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *lru) pushFront(n *lruNode) {
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+// access touches page id; returns (miss, dirtyWriteback).
+func (l *lru) access(id int, dirty bool) (bool, bool) {
+	if n, ok := l.items[id]; ok {
+		n.dirty = n.dirty || dirty
+		l.unlink(n)
+		l.pushFront(n)
+		return false, false
+	}
+	wb := false
+	if len(l.items) >= l.cap {
+		victim := l.tail
+		l.unlink(victim)
+		delete(l.items, victim.id)
+		wb = victim.dirty
+	}
+	n := &lruNode{id: id, dirty: dirty}
+	l.items[id] = n
+	l.pushFront(n)
+	return true, wb
+}

@@ -1,0 +1,244 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func small() Config {
+	return Config{PageSize: 4096, BufferPages: 1 << 20, LeafCap: 8, InternalCap: 8}
+}
+
+func fields(v string) [][]byte { return [][]byte{[]byte(v)} }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	tr := New(small())
+	for i := 0; i < 1000; i++ {
+		tr.Put(fmt.Sprintf("k%06d", i), fields(fmt.Sprintf("v%d", i)))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok, _ := tr.Get(fmt.Sprintf("k%06d", i))
+		if !ok || string(v[0]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(k%06d) = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok, _ := tr.Get("zzz"); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestPutReplaceKeepsLen(t *testing.T) {
+	tr := New(small())
+	tr.Put("k", fields("a"))
+	tr.Put("k", fields("b"))
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", tr.Len())
+	}
+	v, _, _ := tr.Get("k")
+	if string(v[0]) != "b" {
+		t.Fatalf("value %s, want b", v[0])
+	}
+}
+
+func TestRandomOrderInsertionSorted(t *testing.T) {
+	tr := New(small())
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(2000)
+	for _, i := range perm {
+		tr.Put(fmt.Sprintf("k%06d", i), fields("v"))
+	}
+	got, _ := tr.Scan("", 2000)
+	if len(got) != 2000 {
+		t.Fatalf("scan returned %d, want 2000", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Key < got[j].Key }) {
+		t.Fatal("scan output not sorted")
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := New(small()) // caps of 8
+	for i := 0; i < 10000; i++ {
+		tr.Put(fmt.Sprintf("k%07d", i), fields("v"))
+	}
+	if h := tr.Height(); h < 4 || h > 7 {
+		t.Fatalf("height = %d for 10k entries with fanout 8, want 4..7", h)
+	}
+}
+
+func TestScanFromMiddle(t *testing.T) {
+	tr := New(small())
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("k%04d", i), fields("v"))
+	}
+	got, _ := tr.Scan("k0050", 10)
+	if len(got) != 10 || got[0].Key != "k0050" || got[9].Key != "k0059" {
+		t.Fatalf("scan = %v", got)
+	}
+}
+
+func TestScanAllFromCountsTail(t *testing.T) {
+	tr := New(small())
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("k%04d", i), fields("v"))
+	}
+	n, io := tr.ScanAllFrom("k0040")
+	if n != 60 {
+		t.Fatalf("ScanAllFrom counted %d entries, want 60", n)
+	}
+	if io.PagesTouched < 60/8 {
+		t.Fatalf("pages touched %d, want at least %d leaves", io.PagesTouched, 60/8)
+	}
+}
+
+func TestBufferPoolMissesWhenSmall(t *testing.T) {
+	cfg := small()
+	cfg.BufferPages = 4 // tiny pool
+	tr := New(cfg)
+	var loadIO IOStats
+	for i := 0; i < 5000; i++ {
+		loadIO.Add(tr.Put(fmt.Sprintf("k%07d", i), fields("v")))
+	}
+	if loadIO.Misses == 0 {
+		t.Fatal("no buffer pool misses with a 4-page pool")
+	}
+	if loadIO.DirtyWritebacks == 0 {
+		t.Fatal("no dirty writebacks despite eviction pressure")
+	}
+	// Random reads should also miss.
+	_, _, io := tr.Get("k0002500")
+	if io.Misses == 0 {
+		t.Fatal("read of cold page did not miss")
+	}
+}
+
+func TestBufferPoolHitsWhenLarge(t *testing.T) {
+	tr := New(small()) // pool holds 1M pages: everything fits
+	for i := 0; i < 5000; i++ {
+		tr.Put(fmt.Sprintf("k%07d", i), fields("v"))
+	}
+	_, _, io := tr.Get("k0002500")
+	if io.Misses != 0 {
+		t.Fatalf("read with all-in-pool had %d misses", io.Misses)
+	}
+}
+
+func TestRepeatedReadsOfSamePageHitAfterFirstMiss(t *testing.T) {
+	cfg := small()
+	cfg.BufferPages = 8
+	tr := New(cfg)
+	for i := 0; i < 1000; i++ {
+		tr.Put(fmt.Sprintf("k%07d", i), fields("v"))
+	}
+	tr.Get("k0000500")
+	_, _, io := tr.Get("k0000500") // same path now resident
+	if io.Misses != 0 && io.Misses >= io.PagesTouched {
+		t.Fatalf("second read missed all %d pages", io.PagesTouched)
+	}
+}
+
+func TestDiskBytesGrowsWithPages(t *testing.T) {
+	tr := New(small())
+	before := tr.DiskBytes()
+	for i := 0; i < 1000; i++ {
+		tr.Put(fmt.Sprintf("k%07d", i), fields("v"))
+	}
+	if tr.DiskBytes() <= before {
+		t.Fatal("disk bytes did not grow with inserts")
+	}
+	if tr.DiskBytes() != int64(tr.Pages())*4096 {
+		t.Fatalf("DiskBytes %d != pages %d * 4096", tr.DiskBytes(), tr.Pages())
+	}
+}
+
+// Property: the tree agrees with a reference map after arbitrary puts.
+func TestPropertyAgainstMap(t *testing.T) {
+	f := func(ops []struct {
+		K uint16
+		V string
+	}) bool {
+		tr := New(small())
+		ref := map[string]string{}
+		for _, op := range ops {
+			k := fmt.Sprintf("k%05d", op.K)
+			tr.Put(k, fields(op.V))
+			ref[k] = op.V
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok, _ := tr.Get(k)
+			if !ok || string(got[0]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scan output equals the sorted reference filtered to >= start.
+func TestPropertyScanMatchesRef(t *testing.T) {
+	f := func(keys []uint16, start uint16, n8 uint8) bool {
+		limit := int(n8%32) + 1
+		tr := New(small())
+		ref := map[string]bool{}
+		for _, k := range keys {
+			key := fmt.Sprintf("k%05d", k)
+			tr.Put(key, fields("v"))
+			ref[key] = true
+		}
+		startKey := fmt.Sprintf("k%05d", start)
+		var want []string
+		for k := range ref {
+			if k >= startKey {
+				want = append(want, k)
+			}
+		}
+		sort.Strings(want)
+		if len(want) > limit {
+			want = want[:limit]
+		}
+		got, _ := tr.Scan(startKey, limit)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Key != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(fmt.Sprintf("key%09d", i), fields("0123456789"))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New(Config{})
+	for i := 0; i < 100000; i++ {
+		tr.Put(fmt.Sprintf("key%09d", i), fields("0123456789"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(fmt.Sprintf("key%09d", i%100000))
+	}
+}

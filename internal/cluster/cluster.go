@@ -1,0 +1,220 @@
+// Package cluster models the two compute clusters of the paper (§3) as
+// simulated hardware: nodes with CPU cores, RAM, disks and a NIC, joined by
+// a single-switch gigabit network. Stores express their work as CPU time,
+// disk I/O and messages against this model; latency and saturation behaviour
+// then emerge from queueing at the shared resources.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeSpec describes one server machine.
+type NodeSpec struct {
+	Cores     int      // hardware threads usable for request processing
+	RAMBytes  int64    // main memory
+	Disks     int      // independent spindles (RAID0 counts each disk)
+	DiskSeek  sim.Time // average positioning time for a random I/O
+	DiskMBps  float64  // sequential throughput per disk, MB/s
+	DiskBytes int64    // capacity per node
+}
+
+// NetSpec describes the interconnect.
+type NetSpec struct {
+	BaseLatency sim.Time // one-way propagation + switching delay
+	MBps        float64  // per-link bandwidth, MB/s
+}
+
+// Spec is a full cluster description.
+type Spec struct {
+	Name  string
+	Node  NodeSpec
+	Net   NetSpec
+	Nodes int
+}
+
+// ClusterM returns the memory-bound cluster of the paper: 16 Linux nodes,
+// 2x quad-core Xeon, 16 GB RAM, 2x74 GB disks in RAID 0, gigabit ethernet
+// over a single switch.
+func ClusterM(nodes int) Spec {
+	return Spec{
+		Name:  "ClusterM",
+		Nodes: nodes,
+		Node: NodeSpec{
+			Cores:     8,
+			RAMBytes:  16 << 30,
+			Disks:     2,
+			DiskSeek:  4 * sim.Millisecond, // 10k rpm SAS class
+			DiskMBps:  90,
+			DiskBytes: 148 << 30,
+		},
+		Net: NetSpec{BaseLatency: 50 * sim.Microsecond, MBps: 117},
+	}
+}
+
+// ClusterD returns the disk-bound cluster: 24 nodes, 2x dual-core Xeon,
+// 4 GB RAM, one 74 GB disk, gigabit ethernet.
+func ClusterD(nodes int) Spec {
+	return Spec{
+		Name:  "ClusterD",
+		Nodes: nodes,
+		Node: NodeSpec{
+			Cores:     4,
+			RAMBytes:  4 << 30,
+			Disks:     1,
+			DiskSeek:  4500 * sim.Microsecond,
+			DiskMBps:  70,
+			DiskBytes: 74 << 30,
+		},
+		Net: NetSpec{BaseLatency: 60 * sim.Microsecond, MBps: 117},
+	}
+}
+
+// Scale multiplies per-node RAM and disk capacity by f, keeping latencies
+// and bandwidths unchanged. Experiments scale record counts and hardware
+// capacities together so that dataset-to-memory ratios — which decide
+// whether a run is memory- or disk-bound — match the paper's.
+func (s Spec) Scale(f float64) Spec {
+	s.Node.RAMBytes = int64(float64(s.Node.RAMBytes) * f)
+	s.Node.DiskBytes = int64(float64(s.Node.DiskBytes) * f)
+	return s
+}
+
+// Cluster is an instantiated set of simulated nodes.
+type Cluster struct {
+	Eng   *sim.Engine
+	Spec  Spec
+	Nodes []*Node
+}
+
+// Node is one simulated machine.
+type Node struct {
+	ID      int
+	Spec    NodeSpec
+	CPU     *sim.Resource
+	DiskRes []*sim.Resource
+	NIC     *sim.Resource
+
+	ramUsed  int64
+	diskUsed int64
+	nextDisk int
+	net      NetSpec
+}
+
+// New builds a cluster on the given engine.
+func New(e *sim.Engine, spec Spec) *Cluster {
+	c := &Cluster{Eng: e, Spec: spec}
+	for i := 0; i < spec.Nodes; i++ {
+		n := &Node{ID: i, Spec: spec.Node, net: spec.Net}
+		n.CPU = sim.NewResource(e, fmt.Sprintf("node%d.cpu", i), spec.Node.Cores)
+		for d := 0; d < spec.Node.Disks; d++ {
+			n.DiskRes = append(n.DiskRes, sim.NewResource(e, fmt.Sprintf("node%d.disk%d", i, d), 1))
+		}
+		n.NIC = sim.NewResource(e, fmt.Sprintf("node%d.nic", i), 1)
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// Compute spends d of CPU time on one of the node's cores (queueing if all
+// cores are busy).
+func (n *Node) Compute(p *sim.Proc, d sim.Time) {
+	p.Use(n.CPU, d)
+}
+
+// transferTime converts a byte count and MB/s rate to virtual time.
+func transferTime(bytes int64, mbps float64) sim.Time {
+	if bytes <= 0 || mbps <= 0 {
+		return 0
+	}
+	sec := float64(bytes) / (mbps * 1e6)
+	return sim.Time(sec * float64(sim.Second))
+}
+
+// disk picks a spindle round-robin (RAID0 striping approximation).
+func (n *Node) disk() *sim.Resource {
+	d := n.DiskRes[n.nextDisk]
+	n.nextDisk = (n.nextDisk + 1) % len(n.DiskRes)
+	return d
+}
+
+// DiskRead performs a disk read of the given size. Random reads pay a seek;
+// sequential reads pay only transfer time (positioning is amortized).
+func (n *Node) DiskRead(p *sim.Proc, bytes int64, random bool) {
+	d := transferTime(bytes, n.Spec.DiskMBps)
+	if random {
+		d += n.Spec.DiskSeek
+	}
+	p.Use(n.disk(), d)
+}
+
+// DiskWrite performs a disk write.
+func (n *Node) DiskWrite(p *sim.Proc, bytes int64, random bool) {
+	d := transferTime(bytes, n.Spec.DiskMBps)
+	if random {
+		d += n.Spec.DiskSeek
+	}
+	p.Use(n.disk(), d)
+}
+
+// DiskBusy reports average utilization across the node's disks.
+func (n *Node) DiskBusy() float64 {
+	var u float64
+	for _, d := range n.DiskRes {
+		u += d.Utilization()
+	}
+	return u / float64(len(n.DiskRes))
+}
+
+// ReserveRAM accounts bytes of memory use on the node. It never blocks;
+// callers decide what exceeding RAM means (swapping, OOM, cache eviction).
+func (n *Node) ReserveRAM(bytes int64) { n.ramUsed += bytes }
+
+// RAMUsed returns accounted memory use.
+func (n *Node) RAMUsed() int64 { return n.ramUsed }
+
+// RAMOvercommitted reports whether accounted memory exceeds physical RAM.
+func (n *Node) RAMOvercommitted() bool { return n.ramUsed > n.Spec.RAMBytes }
+
+// RAMPressure returns ramUsed/RAM (may exceed 1).
+func (n *Node) RAMPressure() float64 {
+	if n.Spec.RAMBytes == 0 {
+		return 0
+	}
+	return float64(n.ramUsed) / float64(n.Spec.RAMBytes)
+}
+
+// AddDiskUsage accounts bytes written durably to this node's disks.
+func (n *Node) AddDiskUsage(bytes int64) { n.diskUsed += bytes }
+
+// DiskUsed returns accounted durable bytes.
+func (n *Node) DiskUsed() int64 { return n.diskUsed }
+
+// Send models a one-way message of size bytes from n to dst: serialization
+// on the sender NIC, propagation, then delivery. It advances the calling
+// process by the full one-way delay.
+func (n *Node) Send(p *sim.Proc, dst *Node, bytes int64) {
+	tx := transferTime(bytes, n.net.MBps)
+	p.Use(n.NIC, tx)
+	p.Sleep(n.net.BaseLatency)
+}
+
+// RPC models a synchronous request/response pair between client code running
+// on n and a handler on dst. The handler runs in the calling process (the
+// simulation is single-threaded per op) between the request and response
+// transfers.
+func (n *Node) RPC(p *sim.Proc, dst *Node, reqBytes, respBytes int64, handler func()) {
+	n.Send(p, dst, reqBytes)
+	if handler != nil {
+		handler()
+	}
+	dst.Send(p, n, respBytes)
+}
+
+// NetDelay returns the one-way delay for a message of the given size without
+// modeling NIC contention; used for fire-and-forget background traffic.
+func (n *Node) NetDelay(bytes int64) sim.Time {
+	return n.net.BaseLatency + transferTime(bytes, n.net.MBps)
+}

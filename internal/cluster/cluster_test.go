@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestClusterMSpec(t *testing.T) {
+	s := ClusterM(12)
+	if s.Nodes != 12 {
+		t.Fatalf("nodes = %d, want 12", s.Nodes)
+	}
+	if s.Node.Cores != 8 {
+		t.Fatalf("cores = %d, want 8 (2x quad core)", s.Node.Cores)
+	}
+	if s.Node.RAMBytes != 16<<30 {
+		t.Fatalf("RAM = %d, want 16GiB", s.Node.RAMBytes)
+	}
+	if s.Node.Disks != 2 {
+		t.Fatalf("disks = %d, want 2 (RAID0)", s.Node.Disks)
+	}
+}
+
+func TestClusterDSpec(t *testing.T) {
+	s := ClusterD(8)
+	if s.Node.Cores != 4 || s.Node.RAMBytes != 4<<30 || s.Node.Disks != 1 {
+		t.Fatalf("ClusterD node spec wrong: %+v", s.Node)
+	}
+}
+
+func TestScalePreservesRatios(t *testing.T) {
+	s := ClusterM(1)
+	half := s.Scale(0.5)
+	if half.Node.RAMBytes != s.Node.RAMBytes/2 {
+		t.Fatalf("scaled RAM = %d, want %d", half.Node.RAMBytes, s.Node.RAMBytes/2)
+	}
+	if half.Node.DiskBytes != s.Node.DiskBytes/2 {
+		t.Fatalf("scaled disk = %d, want %d", half.Node.DiskBytes, s.Node.DiskBytes/2)
+	}
+	if half.Net != s.Net {
+		t.Fatal("scaling must not change network latencies")
+	}
+}
+
+func TestNewBuildsNodes(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(4))
+	if len(c.Nodes) != 4 {
+		t.Fatalf("built %d nodes, want 4", len(c.Nodes))
+	}
+	n := c.Nodes[0]
+	if n.CPU.Capacity() != 8 {
+		t.Fatalf("CPU capacity = %d, want 8", n.CPU.Capacity())
+	}
+	if len(n.DiskRes) != 2 {
+		t.Fatalf("disks = %d, want 2", len(n.DiskRes))
+	}
+}
+
+func TestComputeQueuesOnCores(t *testing.T) {
+	e := sim.NewEngine(1)
+	spec := ClusterM(1)
+	spec.Node.Cores = 2
+	c := New(e, spec)
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *sim.Proc) {
+			c.Nodes[0].Compute(p, sim.Millisecond)
+			last = p.Now()
+		})
+	}
+	e.Run(0)
+	if last != 2*sim.Millisecond {
+		t.Fatalf("4 jobs on 2 cores finished at %v, want 2ms", last)
+	}
+}
+
+func TestDiskRandomVsSequential(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterD(1))
+	var tRand, tSeq sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		start := p.Now()
+		c.Nodes[0].DiskRead(p, 4096, true)
+		tRand = p.Now() - start
+		start = p.Now()
+		c.Nodes[0].DiskRead(p, 4096, false)
+		tSeq = p.Now() - start
+	})
+	e.Run(0)
+	if tRand <= tSeq {
+		t.Fatalf("random read %v should exceed sequential %v", tRand, tSeq)
+	}
+	if tRand < 4*sim.Millisecond {
+		t.Fatalf("random read %v should include a seek", tRand)
+	}
+}
+
+func TestDiskRoundRobinAcrossSpindles(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(1)) // 2 disks
+	var last sim.Time
+	for i := 0; i < 2; i++ {
+		e.Go("w", func(p *sim.Proc) {
+			c.Nodes[0].DiskRead(p, 0, true) // pure seek, 4ms
+			last = p.Now()
+		})
+	}
+	e.Run(0)
+	if last != 4*sim.Millisecond {
+		t.Fatalf("2 seeks on 2 spindles finished at %v, want parallel 4ms", last)
+	}
+}
+
+func TestRAMAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(1))
+	n := c.Nodes[0]
+	n.ReserveRAM(8 << 30)
+	if n.RAMOvercommitted() {
+		t.Fatal("8GiB of 16GiB should not be overcommitted")
+	}
+	n.ReserveRAM(9 << 30)
+	if !n.RAMOvercommitted() {
+		t.Fatal("17GiB of 16GiB must be overcommitted")
+	}
+	if p := n.RAMPressure(); p < 1.0 {
+		t.Fatalf("pressure = %f, want > 1", p)
+	}
+}
+
+func TestSendDelayIncludesLatencyAndTransfer(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(2))
+	var elapsed sim.Time
+	e.Go("s", func(p *sim.Proc) {
+		start := p.Now()
+		c.Nodes[0].Send(p, c.Nodes[1], 1<<20) // 1 MiB over ~117MB/s ≈ 9ms
+		elapsed = p.Now() - start
+	})
+	e.Run(0)
+	if elapsed < 8*sim.Millisecond || elapsed > 11*sim.Millisecond {
+		t.Fatalf("1MiB send took %v, want ~9ms", elapsed)
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(2))
+	var handlerAt, doneAt sim.Time
+	e.Go("c", func(p *sim.Proc) {
+		c.Nodes[0].RPC(p, c.Nodes[1], 100, 100, func() {
+			handlerAt = p.Now()
+			p.Sleep(sim.Millisecond)
+		})
+		doneAt = p.Now()
+	})
+	e.Run(0)
+	if handlerAt <= 0 {
+		t.Fatal("handler never ran")
+	}
+	if doneAt < handlerAt+sim.Millisecond+c.Spec.Net.BaseLatency {
+		t.Fatalf("RPC completed at %v, too early (handler at %v)", doneAt, handlerAt)
+	}
+}
+
+func TestNICSerializesLargeTransfers(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(2))
+	var last sim.Time
+	for i := 0; i < 2; i++ {
+		e.Go("s", func(p *sim.Proc) {
+			c.Nodes[0].Send(p, c.Nodes[1], 1<<20)
+			last = p.Now()
+		})
+	}
+	e.Run(0)
+	// Two 1MiB sends through one NIC must take ~2x one send.
+	if last < 17*sim.Millisecond {
+		t.Fatalf("two 1MiB sends finished at %v, want >= ~17ms (serialized)", last)
+	}
+}
+
+func TestDiskUsageAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(1))
+	c.Nodes[0].AddDiskUsage(123)
+	c.Nodes[0].AddDiskUsage(77)
+	if got := c.Nodes[0].DiskUsed(); got != 200 {
+		t.Fatalf("disk used = %d, want 200", got)
+	}
+}
+
+// Property: transfer time is monotonic in message size.
+func TestPropertySendMonotonic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		small, big := int64(a%1<<20), int64(b%1<<20)
+		if small > big {
+			small, big = big, small
+		}
+		e := sim.NewEngine(1)
+		c := New(e, ClusterM(2))
+		var tSmall, tBig sim.Time
+		e.Go("s", func(p *sim.Proc) {
+			s := p.Now()
+			c.Nodes[0].Send(p, c.Nodes[1], small)
+			tSmall = p.Now() - s
+			s = p.Now()
+			c.Nodes[0].Send(p, c.Nodes[1], big)
+			tBig = p.Now() - s
+		})
+		e.Run(0)
+		return tSmall <= tBig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetDelayGrowsWithSize(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(1))
+	small := c.Nodes[0].NetDelay(100)
+	big := c.Nodes[0].NetDelay(1 << 20)
+	if big <= small {
+		t.Fatalf("NetDelay(1MiB)=%v should exceed NetDelay(100B)=%v", big, small)
+	}
+	if small < 50*sim.Microsecond {
+		t.Fatalf("NetDelay must include base latency, got %v", small)
+	}
+}
+
+func TestRPCNilHandler(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(2))
+	e.Go("c", func(p *sim.Proc) {
+		c.Nodes[0].RPC(p, c.Nodes[1], 64, 64, nil) // must not panic
+	})
+	e.Run(0)
+}
+
+func TestZeroByteTransfers(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, ClusterM(1))
+	e.Go("w", func(p *sim.Proc) {
+		c.Nodes[0].DiskRead(p, 0, false) // free
+		if p.Now() != 0 {
+			t.Errorf("zero-byte sequential read took %v", p.Now())
+		}
+	})
+	e.Run(0)
+}

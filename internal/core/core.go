@@ -1,0 +1,172 @@
+// Package core is the library's front door: it ties the simulated clusters,
+// the six store models, the YCSB-style workload framework and the APM data
+// model together behind a small API, mirroring what the paper's evaluation
+// pipeline did end to end — deploy a store on a cluster, load records, run a
+// Table 1 workload at maximum or bounded throughput, and collect statistics.
+//
+// A minimal session:
+//
+//	b, err := core.NewBenchmark(core.Config{
+//	    System:  "cassandra",
+//	    Nodes:   4,
+//	    Records: 100_000,
+//	})
+//	res, err := b.Run("W")
+//	fmt.Println(res.Throughput, res.Insert.Mean)
+//
+// For regenerating whole figures use internal/harness (or cmd/apmbench);
+// for driving stores directly with custom processes use the store packages.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/ycsb"
+)
+
+// Config describes one benchmark deployment.
+type Config struct {
+	// System is one of cassandra, hbase, voldemort, redis, voltdb, mysql.
+	System string
+	// Nodes is the cluster size (paper: 1-12 on Cluster M).
+	Nodes int
+	// Records to load before running.
+	Records int64
+	// DiskBound selects the Cluster D hardware profile instead of M.
+	DiskBound bool
+	// Scale multiplies node RAM/disk (use the same factor you scaled
+	// Records by; default 0.01).
+	Scale float64
+	// Clients overrides the connection count (0 = the paper's policy).
+	Clients int
+	// Seed fixes the simulation's randomness (0 = 42).
+	Seed int64
+	// Warmup and Measure bound the run (defaults 0.5s / 2s virtual).
+	Warmup  sim.Time
+	Measure sim.Time
+}
+
+// Result is the outcome of one workload run.
+type Result struct {
+	Throughput float64
+	Ops        int64
+	Errors     int64
+	Read       stats.LatencySummary
+	Insert     stats.LatencySummary
+	Update     stats.LatencySummary
+	Scan       stats.LatencySummary
+	DiskUsage  int64
+}
+
+// Benchmark is a deployed, loaded store ready to run workloads.
+type Benchmark struct {
+	cfg    Config
+	dep    *harness.Deployment
+	loaded int64
+}
+
+// NewBenchmark deploys the system and loads the records.
+func NewBenchmark(cfg Config) (*Benchmark, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: need at least one node")
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.01
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 500 * sim.Millisecond
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 2 * sim.Second
+	}
+	spec := cluster.ClusterM(cfg.Nodes)
+	if cfg.DiskBound {
+		spec = cluster.ClusterD(cfg.Nodes)
+	}
+	dep, err := harness.Deploy(cfg.Seed, harness.System(cfg.System), spec, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if err := ycsb.Load(dep.Store, cfg.Records); err != nil {
+		return nil, err
+	}
+	return &Benchmark{cfg: cfg, dep: dep, loaded: cfg.Records}, nil
+}
+
+// Store exposes the deployed store for direct operations.
+func (b *Benchmark) Store() store.Store { return b.dep.Store }
+
+// Engine exposes the simulation engine (e.g. for spawning agent processes).
+func (b *Benchmark) Engine() *sim.Engine { return b.dep.Engine }
+
+// Run executes one Table 1 workload (R, RW, W, RS, RSW) at maximum
+// throughput and returns its statistics. Run may be called repeatedly; each
+// call continues on the same deployment with the data accumulated so far.
+func (b *Benchmark) Run(workload string) (*Result, error) {
+	return b.RunAtRate(workload, 0)
+}
+
+// RunAtRate executes a workload throttled to targetOpsPerSec (0 = maximum
+// throughput), the mode behind the paper's bounded-throughput experiment.
+func (b *Benchmark) RunAtRate(workload string, targetOpsPerSec float64) (*Result, error) {
+	wl, err := ycsb.WorkloadByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	if wl.HasScans() && !b.dep.Store.SupportsScan() {
+		return nil, store.ErrScansUnsupported
+	}
+	clients := b.cfg.Clients
+	if clients == 0 {
+		clients = harness.Conns(harness.System(b.cfg.System), b.cfg.Nodes, b.cfg.DiskBound)
+	}
+	res, err := ycsb.Run(b.dep.Engine, ycsb.RunConfig{
+		Store:           b.dep.Store,
+		Workload:        wl,
+		Clients:         clients,
+		TargetOpsPerSec: targetOpsPerSec,
+		InitialRecords:  b.loaded,
+		Warmup:          b.cfg.Warmup,
+		Measure:         b.cfg.Measure,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := res.Summarize()
+	return &Result{
+		Throughput: s.Throughput,
+		Ops:        s.Ops,
+		Errors:     s.Errors,
+		Read:       s.Read,
+		Insert:     s.Insert,
+		Update:     s.Update,
+		Scan:       s.Scan,
+		DiskUsage:  b.dep.Store.DiskUsage(),
+	}, nil
+}
+
+// Systems lists the supported system names.
+func Systems() []string {
+	out := make([]string, len(harness.AllSystems))
+	for i, s := range harness.AllSystems {
+		out[i] = string(s)
+	}
+	return out
+}
+
+// Workloads lists the Table 1 workload names.
+func Workloads() []string {
+	out := make([]string, len(ycsb.Workloads))
+	for i, w := range ycsb.Workloads {
+		out[i] = w.Name
+	}
+	return out
+}

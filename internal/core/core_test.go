@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestNewBenchmarkAndRun(t *testing.T) {
+	b, err := NewBenchmark(Config{System: "redis", Nodes: 2, Records: 2000, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run("RW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.Ops <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Read.N == 0 || res.Insert.N == 0 {
+		t.Fatalf("missing op kinds: read=%d insert=%d", res.Read.N, res.Insert.N)
+	}
+}
+
+func TestRunAtRateThrottles(t *testing.T) {
+	b, err := NewBenchmark(Config{System: "voldemort", Nodes: 1, Records: 1000, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.RunAtRate("R", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput < 1500 || res.Throughput > 2500 {
+		t.Fatalf("throttled throughput = %f, want ~2000", res.Throughput)
+	}
+}
+
+func TestRunRejectsScanOnVoldemort(t *testing.T) {
+	b, err := NewBenchmark(Config{System: "voldemort", Nodes: 1, Records: 100, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run("RS"); err != store.ErrScansUnsupported {
+		t.Fatalf("err = %v, want ErrScansUnsupported", err)
+	}
+}
+
+func TestNewBenchmarkValidation(t *testing.T) {
+	if _, err := NewBenchmark(Config{System: "cassandra", Nodes: 0}); err == nil {
+		t.Fatal("accepted zero nodes")
+	}
+	if _, err := NewBenchmark(Config{System: "not-a-system", Nodes: 1}); err == nil {
+		t.Fatal("accepted unknown system")
+	}
+}
+
+func TestDirectStoreAccess(t *testing.T) {
+	b, err := NewBenchmark(Config{System: "hbase", Nodes: 2, Records: 500, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Engine() == nil {
+		t.Fatal("engine not exposed")
+	}
+	if b.Store().Name() != "hbase" {
+		t.Fatalf("store name = %s", b.Store().Name())
+	}
+	if b.Store().DiskUsage() <= 0 {
+		t.Fatal("no disk usage after load")
+	}
+}
+
+func TestSystemsAndWorkloadsLists(t *testing.T) {
+	if len(Systems()) != 6 {
+		t.Fatalf("systems = %v, want 6", Systems())
+	}
+	if len(Workloads()) != 5 {
+		t.Fatalf("workloads = %v, want 5 (Table 1)", Workloads())
+	}
+}
+
+func TestDiskBoundProfile(t *testing.T) {
+	b, err := NewBenchmark(Config{System: "cassandra", Nodes: 2, Records: 20000, Scale: 0.001, DiskBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput on Cluster D")
+	}
+}

@@ -1,0 +1,346 @@
+package harness
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/stores/cassandra"
+	"repro/internal/stores/hbase"
+	"repro/internal/stores/mysql"
+	"repro/internal/stores/redis"
+	"repro/internal/stores/voltdb"
+	"repro/internal/ycsb"
+)
+
+// Ablations return figures comparing a paper-documented design choice
+// against its alternative (DESIGN.md §5). Each figure has one series per
+// variant.
+func (r *Runner) Ablations() map[string]func() (Figure, error) {
+	return map[string]func() (Figure, error){
+		"ablation-cassandra-tokens":      r.AblationCassandraTokens,
+		"ablation-redis-sharding":        r.AblationRedisSharding,
+		"ablation-mysql-binlog":          r.AblationMySQLBinlog,
+		"ablation-hbase-autoflush":       r.AblationHBaseAutoflush,
+		"ablation-voltdb-async":          r.AblationVoltDBAsync,
+		"ablation-cassandra-commitlog":   r.AblationCassandraCommitlog,
+		"ablation-cassandra-replication": r.AblationCassandraReplication,
+		"ablation-cassandra-compression": r.AblationCassandraCompression,
+		"ablation-connections":           r.AblationConnections,
+	}
+}
+
+// measureVariant loads and runs one custom deployment, returning its cell
+// result.
+func (r *Runner) measureVariant(sys System, nodes int, workload string, build func(*cluster.Cluster) store.Store) (CellResult, error) {
+	wl, err := ycsb.WorkloadByName(workload)
+	if err != nil {
+		return CellResult{}, err
+	}
+	e := sim.NewEngine(r.Cfg.Seed)
+	c := cluster.New(e, cluster.ClusterM(nodes).Scale(r.Cfg.Scale))
+	s := build(c)
+	records := int64(float64(r.Cfg.RecordsPerNode*int64(nodes)) * r.Cfg.Scale)
+	if err := ycsb.Load(s, records); err != nil {
+		return CellResult{}, err
+	}
+	res, err := ycsb.Run(e, ycsb.RunConfig{
+		Store:          s,
+		Workload:       wl,
+		Clients:        Conns(sys, nodes, false),
+		InitialRecords: records,
+		Warmup:         r.Cfg.Warmup,
+		Measure:        r.Cfg.Measure,
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	return CellResult{
+		Throughput:          res.Throughput(),
+		ReadLat:             res.MeanLatency(0),
+		WriteLat:            res.MeanLatency(1),
+		ScanLat:             res.MeanLatency(3),
+		Ops:                 res.Ops(),
+		Errors:              res.Errors(),
+		DiskBytesPaperScale: float64(s.DiskUsage()) / r.Cfg.Scale,
+	}, nil
+}
+
+// AblationCassandraTokens compares optimal vs random token assignment
+// (§6: random tokens "frequently resulted in a highly unbalanced workload").
+func (r *Runner) AblationCassandraTokens() (Figure, error) {
+	fig := Figure{ID: "ablation-cassandra-tokens",
+		Title: "Cassandra: optimal vs random token assignment (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
+	for _, variant := range []struct {
+		label  string
+		random bool
+	}{{"optimal-tokens", false}, {"random-tokens", true}} {
+		s := Series{Label: variant.label}
+		for _, n := range r.Cfg.NodeCounts {
+			if n == 1 {
+				continue // token placement is moot on one node
+			}
+			random := variant.random
+			res, err := r.measureVariant(Cassandra, n, "R", func(c *cluster.Cluster) store.Store {
+				return cassandra.New(c, cassandra.Options{
+					RandomTokens:       random,
+					MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+				})
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, res.Throughput)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationRedisSharding compares the Jedis ring against balanced hash-mod
+// sharding (§5.1: "the data distribution is unbalanced").
+func (r *Runner) AblationRedisSharding() (Figure, error) {
+	fig := Figure{ID: "ablation-redis-sharding",
+		Title: "Redis: Jedis ring vs balanced sharding (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
+	for _, variant := range []struct {
+		label    string
+		balanced bool
+	}{{"jedis-ring", false}, {"balanced", true}} {
+		s := Series{Label: variant.label}
+		for _, n := range r.Cfg.NodeCounts {
+			balanced := variant.balanced
+			res, err := r.measureVariant(Redis, n, "R", func(c *cluster.Cluster) store.Store {
+				return redis.New(c, redis.Options{Balanced: balanced})
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, res.Throughput)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationMySQLBinlog compares disk usage with and without the binary log
+// (§5.7: "without this feature the disk usage is essentially reduced by
+// half").
+func (r *Runner) AblationMySQLBinlog() (Figure, error) {
+	fig := Figure{ID: "ablation-mysql-binlog",
+		Title: "MySQL: disk usage with and without binary log", XLabel: "nodes", YLabel: "GB (paper scale)"}
+	for _, variant := range []struct {
+		label  string
+		binlog bool
+	}{{"binlog-on", true}, {"binlog-off", false}} {
+		s := Series{Label: variant.label}
+		for _, n := range r.Cfg.NodeCounts {
+			binlog := variant.binlog
+			e := sim.NewEngine(r.Cfg.Seed)
+			c := cluster.New(e, cluster.ClusterM(n).Scale(r.Cfg.Scale))
+			st := mysql.New(c, mysql.Options{BinLog: binlog})
+			records := int64(float64(r.Cfg.RecordsPerNode*int64(n)) * r.Cfg.Scale)
+			if err := ycsb.Load(st, records); err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, float64(st.DiskUsage())/r.Cfg.Scale/1e9)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationHBaseAutoflush compares the client write buffer (deferred flush)
+// against per-put RPCs on the write-heavy workload.
+func (r *Runner) AblationHBaseAutoflush() (Figure, error) {
+	fig := Figure{ID: "ablation-hbase-autoflush",
+		Title: "HBase: client write buffer vs autoflush (Workload W)", XLabel: "nodes", YLabel: "ops/sec"}
+	for _, variant := range []struct {
+		label     string
+		autoflush bool
+	}{{"write-buffer", false}, {"autoflush", true}} {
+		s := Series{Label: variant.label}
+		for _, n := range r.Cfg.NodeCounts {
+			autoflush := variant.autoflush
+			res, err := r.measureVariant(HBase, n, "W", func(c *cluster.Cluster) store.Store {
+				return hbase.New(c, hbase.Options{
+					AutoFlush:          autoflush,
+					MemstoreFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+				})
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, res.Throughput)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationVoltDBAsync compares the synchronous client the paper used with
+// VoltDB's asynchronous API (§6: Hugg's asynchronous benchmark "achieved a
+// speed-up with a fixed sized database", unlike the paper).
+func (r *Runner) AblationVoltDBAsync() (Figure, error) {
+	fig := Figure{ID: "ablation-voltdb-async",
+		Title: "VoltDB: synchronous vs asynchronous client (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
+	for _, variant := range []struct {
+		label string
+		async bool
+	}{{"sync-client", false}, {"async-client", true}} {
+		s := Series{Label: variant.label}
+		for _, n := range r.Cfg.NodeCounts {
+			async := variant.async
+			res, err := r.measureVariant(VoltDB, n, "R", func(c *cluster.Cluster) store.Store {
+				return voltdb.New(c, voltdb.Options{Async: async})
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, res.Throughput)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationCassandraCommitlog compares batch (writers wait for the group
+// commit) against periodic commit-log mode, isolating the source of
+// Cassandra's high write latency in the reproduction.
+func (r *Runner) AblationCassandraCommitlog() (Figure, error) {
+	fig := Figure{ID: "ablation-cassandra-commitlog",
+		Title:  "Cassandra: commit log batch window vs write latency (Workload RW, 4 nodes)",
+		XLabel: "window ms", YLabel: "write latency ms"}
+	s := Series{Label: "write-latency"}
+	for _, windowMs := range []int{2, 5, 10, 18, 30} {
+		window := sim.Time(windowMs) * sim.Millisecond
+		res, err := r.measureVariant(Cassandra, 4, "RW", func(c *cluster.Cluster) store.Store {
+			return cassandra.New(c, cassandra.Options{
+				CommitLogWindow:    window,
+				MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+			})
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		s.X = append(s.X, float64(windowMs))
+		s.Y = append(s.Y, float64(res.WriteLat)/float64(sim.Millisecond))
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// AblationCassandraReplication measures the throughput cost of replication
+// (the paper's §8 future work) on Workload W: RF=1 vs RF=3 at consistency
+// ONE and ALL.
+func (r *Runner) AblationCassandraReplication() (Figure, error) {
+	fig := Figure{ID: "ablation-cassandra-replication",
+		Title: "Cassandra: replication factor vs throughput (Workload W)", XLabel: "nodes", YLabel: "ops/sec"}
+	variants := []struct {
+		label  string
+		rf, cl int
+	}{
+		{"rf1", 1, 1},
+		{"rf3-one", 3, 1},
+		{"rf3-all", 3, 3},
+	}
+	for _, v := range variants {
+		s := Series{Label: v.label}
+		for _, n := range r.Cfg.NodeCounts {
+			if n < 3 {
+				continue // RF=3 needs at least 3 nodes for distinct replicas
+			}
+			rf, cl := v.rf, v.cl
+			res, err := r.measureVariant(Cassandra, n, "W", func(c *cluster.Cluster) store.Store {
+				return cassandra.New(c, cassandra.Options{
+					ReplicationFactor:  rf,
+					WriteConsistency:   cl,
+					MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+				})
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, res.Throughput)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationCassandraCompression measures compression's disk savings against
+// its throughput cost (§5.7: "the disk usage can be reduced by using
+// compression which, however, will decrease the throughput").
+func (r *Runner) AblationCassandraCompression() (Figure, error) {
+	fig := Figure{ID: "ablation-cassandra-compression",
+		Title: "Cassandra: compression off vs on (Workload R, disk + throughput)", XLabel: "nodes",
+		YLabel: "ops/sec (tput series) / GB (disk series)"}
+	for _, variant := range []struct {
+		label    string
+		compress bool
+	}{{"off", false}, {"on", true}} {
+		tput := Series{Label: "tput-" + variant.label}
+		disk := Series{Label: "disk-" + variant.label}
+		for _, n := range r.Cfg.NodeCounts {
+			compress := variant.compress
+			res, err := r.measureVariant(Cassandra, n, "R", func(c *cluster.Cluster) store.Store {
+				return cassandra.New(c, cassandra.Options{
+					Compression:        compress,
+					MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+				})
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			tput.X = append(tput.X, float64(n))
+			tput.Y = append(tput.Y, res.Throughput)
+			disk.X = append(disk.X, float64(n))
+			disk.Y = append(disk.Y, res.DiskBytesPaperScale/1e9)
+		}
+		fig.Series = append(fig.Series, tput, disk)
+	}
+	return fig, nil
+}
+
+// AblationConnections sweeps the client connection count per node on a
+// 4-node Cassandra cluster (Workload R), reproducing the paper's tuning
+// observation (§8): too few connections leave the servers underutilized,
+// too many congest them and inflate latency without throughput gains.
+func (r *Runner) AblationConnections() (Figure, error) {
+	fig := Figure{ID: "ablation-connections",
+		Title:  "Connections per node vs throughput and read latency (Cassandra, 4 nodes, Workload R)",
+		XLabel: "conns/node", YLabel: "ops/sec (tput) / ms (latency)"}
+	tput := Series{Label: "throughput"}
+	lat := Series{Label: "read-latency-ms"}
+	for _, perNode := range []int{8, 32, 64, 128, 256, 512} {
+		perNode := perNode
+		wl, err := ycsb.WorkloadByName("R")
+		if err != nil {
+			return Figure{}, err
+		}
+		e := sim.NewEngine(r.Cfg.Seed)
+		c := cluster.New(e, cluster.ClusterM(4).Scale(r.Cfg.Scale))
+		s := cassandra.New(c, cassandra.Options{MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale)})
+		records := int64(float64(r.Cfg.RecordsPerNode*4) * r.Cfg.Scale)
+		if err := ycsb.Load(s, records); err != nil {
+			return Figure{}, err
+		}
+		res, err := ycsb.Run(e, ycsb.RunConfig{
+			Store: s, Workload: wl, Clients: perNode * 4,
+			InitialRecords: records, Warmup: r.Cfg.Warmup, Measure: r.Cfg.Measure,
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		tput.X = append(tput.X, float64(perNode))
+		tput.Y = append(tput.Y, res.Throughput())
+		lat.X = append(lat.X, float64(perNode))
+		lat.Y = append(lat.Y, float64(res.MeanLatency(0))/float64(sim.Millisecond))
+	}
+	fig.Series = append(fig.Series, tput, lat)
+	return fig, nil
+}

@@ -1,0 +1,339 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Series is one line in a figure: a label with X/Y points.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a regenerated paper figure: the same series the paper plots.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render formats the figure as an aligned text table (systems as columns).
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Label)
+	}
+	fmt.Fprintf(&b, "    (%s)\n", f.YLabel)
+	// Collect the union of X values.
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	var order []float64
+	for x := range xs {
+		order = append(order, x)
+	}
+	sort.Float64s(order)
+	for _, x := range order {
+		fmt.Fprintf(&b, "%-12.4g", x)
+		for _, s := range f.Series {
+			found := false
+			for i := range s.X {
+				if s.X[i] == x {
+					fmt.Fprintf(&b, "%16.4g", s.Y[i])
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCSV formats the figure as CSV: one row per X value, one column per
+// series, empty cells for missing points.
+func (f Figure) RenderCSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# figure %s: %s\n", f.ID, f.Title)
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Label))
+	}
+	b.WriteByte('\n')
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	var order []float64
+	for x := range xs {
+		order = append(order, x)
+	}
+	sort.Float64s(order)
+	for _, x := range order {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			for i := range s.X {
+				if s.X[i] == x {
+					fmt.Fprintf(&b, "%g", s.Y[i])
+					break
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+// metric extracts one Y value from a cell result.
+type metric func(CellResult) float64
+
+func throughputMetric(r CellResult) float64 { return r.Throughput }
+func latencyMs(t sim.Time) float64          { return float64(t) / float64(sim.Millisecond) }
+func readLatMetric(r CellResult) float64    { return latencyMs(r.ReadLat) }
+func writeLatMetric(r CellResult) float64   { return latencyMs(r.WriteLat) }
+func scanLatMetric(r CellResult) float64    { return latencyMs(r.ScanLat) }
+
+// sweep runs (system, nodes) cells over the node sweep for one workload.
+func (r *Runner) sweep(id, title, ylabel, workload string, systems []System, m metric) (Figure, error) {
+	fig := Figure{ID: id, Title: title, XLabel: "nodes", YLabel: ylabel}
+	for _, sys := range systems {
+		s := Series{Label: string(sys)}
+		for _, n := range r.Cfg.NodeCounts {
+			res, err := r.Run(Cell{System: sys, Nodes: n, Workload: workload})
+			if err != nil {
+				return Figure{}, fmt.Errorf("fig %s %s n=%d: %w", id, sys, n, err)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, m(res))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig3 regenerates "Throughput for Workload R".
+func (r *Runner) Fig3() (Figure, error) {
+	return r.sweep("3", "Throughput for Workload R", "ops/sec", "R", AllSystems, throughputMetric)
+}
+
+// Fig4 regenerates "Read latency for Workload R".
+func (r *Runner) Fig4() (Figure, error) {
+	return r.sweep("4", "Read latency for Workload R", "ms", "R", AllSystems, readLatMetric)
+}
+
+// Fig5 regenerates "Write latency for Workload R".
+func (r *Runner) Fig5() (Figure, error) {
+	return r.sweep("5", "Write latency for Workload R", "ms", "R", AllSystems, writeLatMetric)
+}
+
+// Fig6 regenerates "Throughput for Workload RW".
+func (r *Runner) Fig6() (Figure, error) {
+	return r.sweep("6", "Throughput for Workload RW", "ops/sec", "RW", AllSystems, throughputMetric)
+}
+
+// Fig7 regenerates "Read latency for Workload RW".
+func (r *Runner) Fig7() (Figure, error) {
+	return r.sweep("7", "Read latency for Workload RW", "ms", "RW", AllSystems, readLatMetric)
+}
+
+// Fig8 regenerates "Write latency for Workload RW".
+func (r *Runner) Fig8() (Figure, error) {
+	return r.sweep("8", "Write latency for Workload RW", "ms", "RW", AllSystems, writeLatMetric)
+}
+
+// Fig9 regenerates "Throughput for Workload W".
+func (r *Runner) Fig9() (Figure, error) {
+	return r.sweep("9", "Throughput for Workload W", "ops/sec", "W", AllSystems, throughputMetric)
+}
+
+// Fig10 regenerates "Read latency for Workload W".
+func (r *Runner) Fig10() (Figure, error) {
+	return r.sweep("10", "Read latency for Workload W", "ms", "W", AllSystems, readLatMetric)
+}
+
+// Fig11 regenerates "Write latency for Workload W".
+func (r *Runner) Fig11() (Figure, error) {
+	return r.sweep("11", "Write latency for Workload W", "ms", "W", AllSystems, writeLatMetric)
+}
+
+// Fig12 regenerates "Throughput for Workload RS".
+func (r *Runner) Fig12() (Figure, error) {
+	return r.sweep("12", "Throughput for Workload RS", "ops/sec", "RS", ScanSystems, throughputMetric)
+}
+
+// Fig13 regenerates "Scan latency for Workload RS".
+func (r *Runner) Fig13() (Figure, error) {
+	return r.sweep("13", "Scan latency for Workload RS", "ms", "RS", ScanSystems, scanLatMetric)
+}
+
+// Fig14 regenerates "Throughput for Workload RSW".
+func (r *Runner) Fig14() (Figure, error) {
+	return r.sweep("14", "Throughput for Workload RSW", "ops/sec", "RSW", ScanSystems, throughputMetric)
+}
+
+// boundedSystems are the systems in the bounded-throughput experiment
+// (§5.6 dropped VoltDB for its prohibitive multi-node latency).
+var boundedSystems = []System{Cassandra, HBase, Voldemort, MySQL, Redis}
+
+// boundedFractions are the load levels of Figs 15/16.
+var boundedFractions = []float64{0.50, 0.60, 0.70, 0.80, 0.90, 0.95}
+
+// bounded measures latency at fractions of maximum throughput on 8 nodes,
+// normalized to the latency at 100% load (x100).
+func (r *Runner) bounded(id, title string, m metric) (Figure, error) {
+	const nodes = 8
+	fig := Figure{ID: id, Title: title, XLabel: "% of max tput", YLabel: "latency normalized to max-load (=100)"}
+	for _, sys := range boundedSystems {
+		maxRes, err := r.Run(Cell{System: sys, Nodes: nodes, Workload: "R"})
+		if err != nil {
+			return Figure{}, err
+		}
+		base := m(maxRes)
+		s := Series{Label: string(sys)}
+		for _, f := range boundedFractions {
+			res, err := r.Run(Cell{System: sys, Nodes: nodes, Workload: "R", TargetFraction: f})
+			if err != nil {
+				return Figure{}, err
+			}
+			norm := 0.0
+			if base > 0 {
+				norm = 100 * m(res) / base
+			}
+			s.X = append(s.X, f*100)
+			s.Y = append(s.Y, norm)
+		}
+		s.X = append(s.X, 100)
+		s.Y = append(s.Y, 100)
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig15 regenerates "Read latency for bounded throughput on Workload R".
+func (r *Runner) Fig15() (Figure, error) {
+	return r.bounded("15", "Read latency for bounded throughput on Workload R", readLatMetric)
+}
+
+// Fig16 regenerates "Write latency for bounded throughput on Workload R".
+func (r *Runner) Fig16() (Figure, error) {
+	return r.bounded("16", "Write latency for bounded throughput on Workload R", writeLatMetric)
+}
+
+// Fig17 regenerates "Disk usage for 10 million records", in paper-scale GB,
+// including the raw-data reference line.
+func (r *Runner) Fig17() (Figure, error) {
+	fig := Figure{ID: "17", Title: "Disk usage for 10 million records per node", XLabel: "nodes", YLabel: "GB"}
+	for _, sys := range DiskSystems {
+		s := Series{Label: string(sys)}
+		for _, n := range r.Cfg.NodeCounts {
+			res, err := r.LoadOnly(sys, n)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, res.DiskBytesPaperScale/1e9)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	raw := Series{Label: "raw data"}
+	for _, n := range r.Cfg.NodeCounts {
+		raw.X = append(raw.X, float64(n))
+		raw.Y = append(raw.Y, float64(r.Cfg.RecordsPerNode*int64(n))*70/1e9)
+	}
+	fig.Series = append(fig.Series, raw)
+	return fig, nil
+}
+
+// clusterD builds the Cluster D bar charts (Figs 18-20): 8 nodes, workloads
+// R/RW/W, systems Cassandra/HBase/Voldemort.
+func (r *Runner) clusterD(id, title, ylabel string, m metric) (Figure, error) {
+	const nodes = 8
+	fig := Figure{ID: id, Title: title, XLabel: "workload#", YLabel: ylabel + " [x=1:R 2:RW 3:W]"}
+	for _, sys := range ClusterDSystems {
+		s := Series{Label: string(sys)}
+		for i, wl := range []string{"R", "RW", "W"} {
+			res, err := r.Run(Cell{System: sys, Nodes: nodes, Workload: wl, ClusterD: true})
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, m(res))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig18 regenerates "Throughput for 8 nodes in Cluster D".
+func (r *Runner) Fig18() (Figure, error) {
+	return r.clusterD("18", "Throughput for 8 nodes in Cluster D", "ops/sec", throughputMetric)
+}
+
+// Fig19 regenerates "Read latency for 8 nodes in Cluster D".
+func (r *Runner) Fig19() (Figure, error) {
+	return r.clusterD("19", "Read latency for 8 nodes in Cluster D", "ms", readLatMetric)
+}
+
+// Fig20 regenerates "Write latency for 8 nodes in Cluster D".
+func (r *Runner) Fig20() (Figure, error) {
+	return r.clusterD("20", "Write latency for 8 nodes in Cluster D", "ms", writeLatMetric)
+}
+
+// Table1 renders the workload specification table.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: Workload specifications\n")
+	fmt.Fprintf(&b, "%-10s%10s%10s%10s\n", "Workload", "% Read", "% Scans", "% Inserts")
+	rows := []struct {
+		name                string
+		read, scans, insert int
+	}{
+		{"R", 95, 0, 5}, {"RW", 50, 0, 50}, {"W", 1, 0, 99},
+		{"RS", 47, 47, 6}, {"RSW", 25, 25, 50},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s%10d%10d%10d\n", r.name, r.read, r.scans, r.insert)
+	}
+	return b.String()
+}
+
+// Figures maps figure IDs to their generators.
+func (r *Runner) Figures() map[string]func() (Figure, error) {
+	return map[string]func() (Figure, error){
+		"3": r.Fig3, "4": r.Fig4, "5": r.Fig5,
+		"6": r.Fig6, "7": r.Fig7, "8": r.Fig8,
+		"9": r.Fig9, "10": r.Fig10, "11": r.Fig11,
+		"12": r.Fig12, "13": r.Fig13, "14": r.Fig14,
+		"15": r.Fig15, "16": r.Fig16, "17": r.Fig17,
+		"18": r.Fig18, "19": r.Fig19, "20": r.Fig20,
+	}
+}
+
+// FigureOrder lists figure IDs in paper order.
+var FigureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20"}

@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ycsb"
+)
+
+// Config controls experiment fidelity.
+type Config struct {
+	// Scale multiplies record counts and node RAM/disk (default 0.01).
+	Scale float64
+	// RecordsPerNode before scaling (paper: 10M on Cluster M).
+	RecordsPerNode int64
+	// ClusterDRecords before scaling (paper: 150M total).
+	ClusterDRecords int64
+	// Warmup and Measure bound each run in virtual time.
+	Warmup  sim.Time
+	Measure sim.Time
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Repetitions averages each cell over this many independent seeds
+	// (the paper reports the average of at least 3 executions).
+	Repetitions int
+	// NodeCounts is the cluster-size sweep (paper: 1..12).
+	NodeCounts []int
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.01
+	}
+	if c.RecordsPerNode == 0 {
+		c.RecordsPerNode = 10_000_000
+	}
+	if c.ClusterDRecords == 0 {
+		c.ClusterDRecords = 150_000_000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 500 * sim.Millisecond
+	}
+	if c.Measure == 0 {
+		c.Measure = 2 * sim.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = []int{1, 2, 4, 8, 12}
+	}
+	if c.Repetitions == 0 {
+		c.Repetitions = 1
+	}
+	return c
+}
+
+// Quick returns a low-fidelity config for tests.
+func Quick() Config {
+	return Config{
+		Scale:          0.001,
+		Warmup:         200 * sim.Millisecond,
+		Measure:        600 * sim.Millisecond,
+		NodeCounts:     []int{1, 2, 4},
+		RecordsPerNode: 10_000_000,
+	}.Defaults()
+}
+
+// Cell identifies one experiment data point.
+type Cell struct {
+	System   System
+	Nodes    int
+	Workload string
+	ClusterD bool
+	// TargetFraction throttles to a share of the cell's max throughput
+	// (0 = unthrottled); used by the bounded-throughput experiment.
+	TargetFraction float64
+}
+
+// CellResult is one measured data point.
+type CellResult struct {
+	Cell       Cell
+	Throughput float64
+	ReadLat    sim.Time
+	WriteLat   sim.Time // insert latency (APM writes are inserts)
+	ScanLat    sim.Time
+	UpdateLat  sim.Time
+	Ops        int64
+	Errors     int64
+	// DiskBytesPaperScale is store disk usage rescaled to paper size.
+	DiskBytesPaperScale float64
+}
+
+// Runner executes and caches experiment cells so figures sharing the same
+// runs (e.g. Fig 3/4/5) measure each cell once.
+type Runner struct {
+	Cfg   Config
+	cache map[string]CellResult
+	// Progress, when set, receives one line per executed cell.
+	Progress func(string)
+}
+
+// NewRunner creates a runner with the given config.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{Cfg: cfg.Defaults(), cache: map[string]CellResult{}}
+}
+
+func (r *Runner) key(c Cell) string {
+	return fmt.Sprintf("%s/%d/%s/d=%v/f=%.2f", c.System, c.Nodes, c.Workload, c.ClusterD, c.TargetFraction)
+}
+
+// Run measures one cell (cached), averaging over Cfg.Repetitions
+// independent executions with distinct seeds.
+func (r *Runner) Run(c Cell) (CellResult, error) {
+	if res, ok := r.cache[r.key(c)]; ok {
+		return res, nil
+	}
+	var acc CellResult
+	for rep := 0; rep < r.Cfg.Repetitions; rep++ {
+		res, err := r.run(c, int64(rep)*7919)
+		if err != nil {
+			return CellResult{}, err
+		}
+		if rep == 0 {
+			acc = res
+			continue
+		}
+		k := float64(rep + 1)
+		acc.Throughput += (res.Throughput - acc.Throughput) / k
+		acc.ReadLat += (res.ReadLat - acc.ReadLat) / sim.Time(rep+1)
+		acc.WriteLat += (res.WriteLat - acc.WriteLat) / sim.Time(rep+1)
+		acc.ScanLat += (res.ScanLat - acc.ScanLat) / sim.Time(rep+1)
+		acc.UpdateLat += (res.UpdateLat - acc.UpdateLat) / sim.Time(rep+1)
+		acc.Ops += res.Ops
+		acc.Errors += res.Errors
+	}
+	r.cache[r.key(c)] = acc
+	return acc, nil
+}
+
+func (r *Runner) run(c Cell, seedOffset int64) (CellResult, error) {
+	wl, err := ycsb.WorkloadByName(c.Workload)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if !SupportsWorkload(c.System, wl.HasScans()) {
+		return CellResult{}, fmt.Errorf("harness: %s does not support workload %s", c.System, c.Workload)
+	}
+
+	var target float64
+	if c.TargetFraction > 0 {
+		maxCell := c
+		maxCell.TargetFraction = 0
+		maxRes, err := r.Run(maxCell)
+		if err != nil {
+			return CellResult{}, err
+		}
+		target = maxRes.Throughput * c.TargetFraction
+	}
+
+	spec := clusterSpecFor(c, r.Cfg)
+	records := recordsFor(c, r.Cfg)
+	seed := r.Cfg.Seed + int64(len(r.cache)) + seedOffset
+	dep, err := Deploy(seed, c.System, spec, r.Cfg.Scale)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if err := ycsb.Load(dep.Store, records); err != nil {
+		return CellResult{}, err
+	}
+	res, err := ycsb.Run(dep.Engine, ycsb.RunConfig{
+		Store:           dep.Store,
+		Workload:        wl,
+		Clients:         Conns(c.System, c.Nodes, c.ClusterD),
+		TargetOpsPerSec: target,
+		InitialRecords:  records,
+		Warmup:          r.Cfg.Warmup,
+		Measure:         r.Cfg.Measure,
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	out := CellResult{
+		Cell:                c,
+		Throughput:          res.Throughput(),
+		ReadLat:             res.MeanLatency(stats.OpRead),
+		WriteLat:            res.MeanLatency(stats.OpInsert),
+		UpdateLat:           res.MeanLatency(stats.OpUpdate),
+		ScanLat:             res.MeanLatency(stats.OpScan),
+		Ops:                 res.Ops(),
+		Errors:              res.Errors(),
+		DiskBytesPaperScale: float64(dep.Store.DiskUsage()) / r.Cfg.Scale,
+	}
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("%-10s n=%-2d %-4s tput=%9.0f ops/s read=%9v write=%9v scan=%9v err=%d",
+			c.System, c.Nodes, c.Workload, out.Throughput, out.ReadLat, out.WriteLat, out.ScanLat, out.Errors))
+	}
+	return out, nil
+}
+
+// LoadOnly deploys and loads a cell without running a workload; used by the
+// disk-usage experiment (Fig 17).
+func (r *Runner) LoadOnly(sys System, nodes int) (CellResult, error) {
+	key := fmt.Sprintf("loadonly/%s/%d", sys, nodes)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	spec := cluster.ClusterM(nodes)
+	records := int64(float64(r.Cfg.RecordsPerNode*int64(nodes)) * r.Cfg.Scale)
+	dep, err := Deploy(r.Cfg.Seed, sys, spec, r.Cfg.Scale)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if err := ycsb.Load(dep.Store, records); err != nil {
+		return CellResult{}, err
+	}
+	res := CellResult{
+		Cell:                Cell{System: sys, Nodes: nodes},
+		DiskBytesPaperScale: float64(dep.Store.DiskUsage()) / r.Cfg.Scale,
+	}
+	r.cache[key] = res
+	return res, nil
+}

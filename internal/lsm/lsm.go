@@ -1,0 +1,387 @@
+// Package lsm implements a log-structured merge tree over the simulated
+// cluster: commit log + memtable + SSTables with Bloom filters and
+// size-tiered compaction. It is the storage engine of the Cassandra and
+// HBase models. Reads consult the memtable then SSTables newest-first,
+// paying a random disk I/O per probed table that misses the page cache;
+// flushes and compactions run as background processes that contend for the
+// node's disks and therefore perturb foreground latency exactly when the
+// paper's systems did.
+package lsm
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/memtable"
+	"repro/internal/sim"
+	"repro/internal/sstable"
+	"repro/internal/wal"
+)
+
+// BlockIO abstracts where SSTable blocks live. The default reads and writes
+// the owning node's local disks; HBase substitutes a DFS-backed
+// implementation that adds DataNode overhead.
+type BlockIO interface {
+	// ReadBlock pays for reading bytes at the given randomness.
+	ReadBlock(p *sim.Proc, bytes int64, random bool)
+	// WriteRun pays for writing a sequential run of bytes.
+	WriteRun(p *sim.Proc, bytes int64)
+}
+
+// nodeIO is the default BlockIO: the node's own disks.
+type nodeIO struct{ node *cluster.Node }
+
+func (io nodeIO) ReadBlock(p *sim.Proc, bytes int64, random bool) {
+	io.node.DiskRead(p, bytes, random)
+}
+func (io nodeIO) WriteRun(p *sim.Proc, bytes int64) {
+	io.node.DiskWrite(p, bytes, false)
+}
+
+// Config parameterizes a tree.
+type Config struct {
+	Node       *cluster.Node
+	Seed       int64
+	FlushBytes int64            // memtable payload size that triggers a flush
+	Overhead   sstable.Overhead // on-disk format cost
+	BloomFPP   float64
+	CompactMin int      // size-tiered: tables per tier before compacting
+	WALWindow  sim.Time // group commit window
+	WALSync    bool     // writers wait for group commit if true
+	CacheBytes int64    // page cache available to this tree's data
+	BlockBytes int64    // I/O granularity for point reads
+	IO         BlockIO  // block storage; nil means the node's local disks
+}
+
+func (c *Config) defaults() {
+	if c.FlushBytes == 0 {
+		c.FlushBytes = 32 << 20
+	}
+	if c.BloomFPP == 0 {
+		c.BloomFPP = 0.01
+	}
+	if c.CompactMin == 0 {
+		c.CompactMin = 4
+	}
+	if c.WALWindow == 0 {
+		c.WALWindow = 10 * sim.Millisecond
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 64 << 10
+	}
+	if c.IO == nil {
+		c.IO = nodeIO{node: c.Node}
+	}
+}
+
+// Tree is one node's LSM engine.
+type Tree struct {
+	cfg    Config
+	mem    *memtable.Memtable
+	tables []*sstable.Table // all generations, any order
+	log    *wal.Log
+	gen    int
+
+	flushing   bool
+	compacting bool
+
+	tableBytes int64 // sum of SSTable DiskBytes
+	// read-path statistics
+	probes      int64
+	bloomSkips  int64
+	diskReads   int64
+	memHits     int64
+	compactions int64
+}
+
+// New creates an empty tree.
+func New(cfg Config) *Tree {
+	cfg.defaults()
+	return &Tree{
+		cfg: cfg,
+		mem: memtable.New(cfg.Seed),
+		log: wal.New(cfg.Node, cfg.WALWindow),
+	}
+}
+
+func payloadBytes(key string, fields [][]byte) int64 {
+	b := int64(len(key))
+	for _, f := range fields {
+		b += int64(len(f))
+	}
+	return b
+}
+
+// Put appends to the commit log and inserts into the memtable, triggering a
+// background flush when the memtable is full.
+func (t *Tree) Put(p *sim.Proc, key string, fields [][]byte) {
+	t.log.Append(p, payloadBytes(key, fields), t.cfg.WALSync)
+	t.mem.Put(key, fields)
+	t.maybeFlush(p.Engine(), false)
+}
+
+// PutDeferred inserts without charging foreground I/O time: the caller has
+// already paid for the batched transfer (HBase's client write buffer). WAL
+// bytes are accounted and background flush/compaction still run with full
+// timing, so heavy deferred writes still generate the disk load that slows
+// concurrent reads.
+func (t *Tree) PutDeferred(e *sim.Engine, key string, fields [][]byte) {
+	t.log.AppendDirect(payloadBytes(key, fields))
+	t.mem.Put(key, fields)
+	t.maybeFlush(e, false)
+}
+
+// missProb returns the probability that an SSTable read misses the page
+// cache, from the ratio of cache to on-disk data.
+func (t *Tree) missProb() float64 {
+	if t.tableBytes <= 0 || t.cfg.CacheBytes >= t.tableBytes {
+		return 0
+	}
+	return 1 - float64(t.cfg.CacheBytes)/float64(t.tableBytes)
+}
+
+// chargeTableRead pays for one table probe's I/O if the block is not cached.
+func (t *Tree) chargeTableRead(p *sim.Proc) {
+	if miss := t.missProb(); miss > 0 && p.Rand().Float64() < miss {
+		t.diskReads++
+		t.cfg.IO.ReadBlock(p, t.cfg.BlockBytes, true)
+	}
+}
+
+// Get reads key, probing memtable then tables newest-first. The table list
+// is snapshotted up front: disk charges park the process, and a concurrent
+// compaction may swap t.tables meanwhile; tables themselves are immutable,
+// so reading the snapshot stays correct.
+func (t *Tree) Get(p *sim.Proc, key string) ([][]byte, bool) {
+	if v, ok := t.mem.Get(key); ok {
+		t.memHits++
+		return v, true
+	}
+	snapshot := append([]*sstable.Table(nil), t.tables...)
+	var best *sstable.Table
+	for _, tab := range snapshot {
+		if best != nil && tab.Gen < best.Gen {
+			continue
+		}
+		if !tab.MayContain(key) {
+			t.bloomSkips++
+			continue
+		}
+		t.probes++
+		t.chargeTableRead(p)
+		if _, ok := tab.Get(key); ok {
+			if best == nil || tab.Gen > best.Gen {
+				best = tab
+			}
+		}
+	}
+	if best != nil {
+		v, _ := best.Get(key)
+		return v, true
+	}
+	return nil, false
+}
+
+// Scan returns up to count entries with keys >= start, merged across the
+// memtable and all tables (newest generation wins per key).
+func (t *Tree) Scan(p *sim.Proc, start string, count int) []memtable.Entry {
+	type cand struct {
+		fields [][]byte
+		gen    int
+	}
+	merged := map[string]cand{}
+	consider := func(key string, fields [][]byte, gen int) {
+		if c, ok := merged[key]; !ok || gen > c.gen {
+			merged[key] = cand{fields, gen}
+		}
+	}
+	for _, e := range t.mem.Scan(start, count) {
+		consider(e.Key, e.Fields, 1<<30)
+	}
+	// Snapshot the table list: disk charges park the process and compaction
+	// may swap t.tables underneath (tables themselves are immutable).
+	snapshot := append([]*sstable.Table(nil), t.tables...)
+	for _, tab := range snapshot {
+		// One positioning I/O per table touched plus sequential transfer.
+		t.chargeTableRead(p)
+		for _, e := range tab.Scan(start, count) {
+			consider(e.Key, e.Fields, tab.Gen)
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > count {
+		keys = keys[:count]
+	}
+	out := make([]memtable.Entry, len(keys))
+	for i, k := range keys {
+		out[i] = memtable.Entry{Key: k, Fields: merged[k].fields}
+	}
+	return out
+}
+
+// maybeFlush swaps the memtable and writes it out in the background.
+func (t *Tree) maybeFlush(e *sim.Engine, direct bool) {
+	if t.mem.Bytes() < t.cfg.FlushBytes {
+		return
+	}
+	if direct {
+		t.flushNow(nil)
+		return
+	}
+	if t.flushing {
+		return
+	}
+	t.flushing = true
+	full := t.mem
+	t.mem = memtable.New(t.cfg.Seed + int64(t.gen) + 1)
+	e.Go("lsm-flush", func(p *sim.Proc) {
+		t.gen++
+		tab := sstable.Build(t.gen, full.All(), t.cfg.Overhead, t.cfg.BloomFPP)
+		t.cfg.IO.WriteRun(p, tab.DiskBytes)
+		t.installTable(tab, full.Bytes())
+		t.flushing = false
+		t.maybeCompact(p.Engine(), false)
+	})
+}
+
+// flushNow converts the current memtable to a table without timing (loader
+// path).
+func (t *Tree) flushNow(_ *sim.Proc) {
+	if t.mem.Len() == 0 {
+		return
+	}
+	t.gen++
+	tab := sstable.Build(t.gen, t.mem.All(), t.cfg.Overhead, t.cfg.BloomFPP)
+	t.installTable(tab, t.mem.Bytes())
+	t.mem = memtable.New(t.cfg.Seed + int64(t.gen) + 1)
+	t.maybeCompactDirect()
+}
+
+func (t *Tree) installTable(tab *sstable.Table, walPayload int64) {
+	t.tables = append(t.tables, tab)
+	t.tableBytes += tab.DiskBytes
+	t.cfg.Node.AddDiskUsage(tab.DiskBytes)
+	t.log.Truncate(walPayload)
+}
+
+// tier buckets a table size for size-tiered compaction.
+func tier(bytes int64) int {
+	t := 0
+	for bytes > 4<<20 {
+		bytes >>= 2
+		t++
+	}
+	return t
+}
+
+// pickCompaction returns the indices of tables in the fullest tier if it has
+// at least CompactMin members.
+func (t *Tree) pickCompaction() []int {
+	byTier := map[int][]int{}
+	for i, tab := range t.tables {
+		tr := tier(tab.DiskBytes)
+		byTier[tr] = append(byTier[tr], i)
+	}
+	for _, idxs := range byTier {
+		if len(idxs) >= t.cfg.CompactMin {
+			return idxs
+		}
+	}
+	return nil
+}
+
+// maybeCompact runs one size-tiered compaction in the background.
+func (t *Tree) maybeCompact(e *sim.Engine, _ bool) {
+	if t.compacting {
+		return
+	}
+	idxs := t.pickCompaction()
+	if idxs == nil {
+		return
+	}
+	t.compacting = true
+	victims := make([]*sstable.Table, len(idxs))
+	var inBytes int64
+	for i, idx := range idxs {
+		victims[i] = t.tables[idx]
+		inBytes += t.tables[idx].DiskBytes
+	}
+	e.Go("lsm-compact", func(p *sim.Proc) {
+		t.cfg.IO.ReadBlock(p, inBytes, false)
+		merged := sstable.Merge(victims, t.cfg.Overhead, t.cfg.BloomFPP)
+		t.cfg.IO.WriteRun(p, merged.DiskBytes)
+		t.replaceTables(victims, merged)
+		t.compactions++
+		t.compacting = false
+		t.maybeCompact(p.Engine(), false)
+	})
+}
+
+// maybeCompactDirect compacts synchronously without timing (loader path).
+func (t *Tree) maybeCompactDirect() {
+	for {
+		idxs := t.pickCompaction()
+		if idxs == nil {
+			return
+		}
+		victims := make([]*sstable.Table, len(idxs))
+		for i, idx := range idxs {
+			victims[i] = t.tables[idx]
+		}
+		merged := sstable.Merge(victims, t.cfg.Overhead, t.cfg.BloomFPP)
+		t.replaceTables(victims, merged)
+		t.compactions++
+	}
+}
+
+// replaceTables swaps victims for merged, updating accounting.
+func (t *Tree) replaceTables(victims []*sstable.Table, merged *sstable.Table) {
+	dead := map[*sstable.Table]bool{}
+	var deadBytes int64
+	for _, v := range victims {
+		dead[v] = true
+		deadBytes += v.DiskBytes
+	}
+	kept := t.tables[:0]
+	for _, tab := range t.tables {
+		if !dead[tab] {
+			kept = append(kept, tab)
+		}
+	}
+	t.tables = append(kept, merged)
+	t.tableBytes += merged.DiskBytes - deadBytes
+	t.cfg.Node.AddDiskUsage(merged.DiskBytes - deadBytes)
+}
+
+// LoadDirect inserts a record without simulation timing, for bulk loading
+// before a measured run. Disk usage accounting still happens.
+func (t *Tree) LoadDirect(key string, fields [][]byte) {
+	t.log.AppendDirect(payloadBytes(key, fields))
+	t.mem.Put(key, fields)
+	t.maybeFlush(nil, true)
+}
+
+// TableCount returns the number of live SSTables.
+func (t *Tree) TableCount() int { return len(t.tables) }
+
+// DiskBytes returns the on-disk footprint of live tables.
+func (t *Tree) DiskBytes() int64 { return t.tableBytes }
+
+// MemBytes returns the current memtable payload size.
+func (t *Tree) MemBytes() int64 { return t.mem.Bytes() }
+
+// Compactions returns how many compactions have completed.
+func (t *Tree) Compactions() int64 { return t.compactions }
+
+// Stats returns read-path counters: table probes, Bloom-filter skips,
+// actual disk reads, and memtable hits.
+func (t *Tree) Stats() (probes, bloomSkips, diskReads, memHits int64) {
+	return t.probes, t.bloomSkips, t.diskReads, t.memHits
+}
+
+// Log exposes the commit log (for stores that need its accounting).
+func (t *Tree) Log() *wal.Log { return t.log }

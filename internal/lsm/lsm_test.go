@@ -1,0 +1,301 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/sstable"
+)
+
+func newTree(e *sim.Engine, flushBytes int64) *Tree {
+	n := cluster.New(e, cluster.ClusterM(1)).Nodes[0]
+	return New(Config{
+		Node:       n,
+		Seed:       1,
+		FlushBytes: flushBytes,
+		Overhead:   sstable.Overhead{PerEntry: 10, PerCell: 20},
+		CacheBytes: 1 << 30, // everything cached: memory-bound behaviour
+	})
+}
+
+func fields(v string) [][]byte { return [][]byte{[]byte(v)} }
+
+func TestPutGetThroughMemtable(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 1<<20)
+	e.Go("w", func(p *sim.Proc) {
+		tr.Put(p, "k1", fields("v1"))
+		v, ok := tr.Get(p, "k1")
+		if !ok || string(v[0]) != "v1" {
+			t.Errorf("Get(k1) = %v, %v", v, ok)
+		}
+		if _, ok := tr.Get(p, "nope"); ok {
+			t.Error("found absent key")
+		}
+	})
+	e.Run(0)
+}
+
+func TestFlushCreatesSSTableAndServesReads(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 500) // tiny: flush after a few records
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			tr.Put(p, fmt.Sprintf("key%04d", i), fields("0123456789"))
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	e.Run(0)
+	if tr.TableCount() == 0 {
+		t.Fatal("no SSTable created despite tiny flush threshold")
+	}
+	// All keys must still be readable after flushes.
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			if _, ok := tr.Get(p, fmt.Sprintf("key%04d", i)); !ok {
+				t.Errorf("key%04d lost after flush", i)
+			}
+		}
+	})
+	e.Run(0)
+}
+
+func TestNewestValueWinsAcrossTables(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 400)
+	e.Go("w", func(p *sim.Proc) {
+		tr.Put(p, "hot", fields("old"))
+		for i := 0; i < 40; i++ { // force a flush between versions
+			tr.Put(p, fmt.Sprintf("fill%04d", i), fields("0123456789"))
+			p.Sleep(sim.Millisecond)
+		}
+		tr.Put(p, "hot", fields("new"))
+		for i := 40; i < 80; i++ {
+			tr.Put(p, fmt.Sprintf("fill%04d", i), fields("0123456789"))
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	e.Run(0)
+	e.Go("r", func(p *sim.Proc) {
+		v, ok := tr.Get(p, "hot")
+		if !ok || string(v[0]) != "new" {
+			t.Errorf("Get(hot) = %q, want new", v)
+		}
+	})
+	e.Run(0)
+}
+
+func TestScanMergesMemtableAndTables(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 400)
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 60; i++ {
+			tr.Put(p, fmt.Sprintf("k%04d", i), fields(fmt.Sprintf("v%d", i)))
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	e.Run(0)
+	e.Go("r", func(p *sim.Proc) {
+		got := tr.Scan(p, "k0010", 5)
+		if len(got) != 5 {
+			t.Fatalf("scan returned %d entries, want 5", len(got))
+		}
+		for i, ent := range got {
+			want := fmt.Sprintf("k%04d", 10+i)
+			if ent.Key != want {
+				t.Errorf("scan[%d] = %s, want %s", i, ent.Key, want)
+			}
+		}
+	})
+	e.Run(0)
+}
+
+func TestCompactionReducesTableCount(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 300)
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 400; i++ {
+			tr.Put(p, fmt.Sprintf("k%06d", i), fields("0123456789"))
+			p.Sleep(2 * sim.Millisecond)
+		}
+	})
+	e.Run(0)
+	if tr.Compactions() == 0 {
+		t.Fatalf("no compaction ran despite %d tables", tr.TableCount())
+	}
+	if tr.TableCount() >= 8 {
+		t.Fatalf("table count %d, compaction not keeping up", tr.TableCount())
+	}
+	// Data integrity after compaction.
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < 400; i += 37 {
+			if _, ok := tr.Get(p, fmt.Sprintf("k%06d", i)); !ok {
+				t.Errorf("k%06d lost after compaction", i)
+			}
+		}
+	})
+	e.Run(0)
+}
+
+func TestLoadDirectNoVirtualTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 1<<14)
+	for i := 0; i < 5000; i++ {
+		tr.LoadDirect(fmt.Sprintf("k%07d", i), fields("0123456789"))
+	}
+	if e.Now() != 0 {
+		t.Fatal("LoadDirect advanced virtual time")
+	}
+	if tr.DiskBytes() == 0 {
+		t.Fatal("LoadDirect produced no on-disk data")
+	}
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < 5000; i += 501 {
+			if _, ok := tr.Get(p, fmt.Sprintf("k%07d", i)); !ok {
+				t.Errorf("k%07d missing after direct load", i)
+			}
+		}
+	})
+	e.Run(0)
+}
+
+func TestDiskBytesIncludesFormatOverhead(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 10) // below one record's payload: flush immediately
+	// 75-byte records: 25-byte key, 5 x 10-byte fields.
+	key := fmt.Sprintf("user%021d", 1)
+	fs := make([][]byte, 5)
+	for i := range fs {
+		fs[i] = []byte("0123456789")
+	}
+	tr.LoadDirect(key, fs)
+	// key 25 + perEntry 10 + 5*(10+20) = 185 > raw 75.
+	if tr.DiskBytes() != 185 {
+		t.Fatalf("DiskBytes = %d, want 185", tr.DiskBytes())
+	}
+}
+
+func TestCacheMissChargesDisk(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := cluster.New(e, cluster.ClusterD(1)).Nodes[0]
+	tr := New(Config{
+		Node:       n,
+		Seed:       1,
+		FlushBytes: 1 << 12,
+		Overhead:   sstable.Overhead{PerEntry: 10, PerCell: 20},
+		CacheBytes: 1, // essentially nothing cached: disk-bound
+	})
+	for i := 0; i < 2000; i++ {
+		tr.LoadDirect(fmt.Sprintf("k%07d", i), fields("0123456789"))
+	}
+	var elapsed sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < 20; i++ {
+			tr.Get(p, fmt.Sprintf("k%07d", i*97))
+		}
+		elapsed = p.Now() - start
+	})
+	e.Run(0)
+	if elapsed < 20*4*sim.Millisecond {
+		t.Fatalf("20 uncached reads took %v, want >= 80ms of seeks", elapsed)
+	}
+	_, _, diskReads, _ := tr.Stats()
+	if diskReads == 0 {
+		t.Fatal("no disk reads recorded in disk-bound config")
+	}
+}
+
+func TestCacheHitAvoidsDisk(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 1<<12) // CacheBytes 1GiB >> data
+	for i := 0; i < 2000; i++ {
+		tr.LoadDirect(fmt.Sprintf("k%07d", i), fields("0123456789"))
+	}
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			tr.Get(p, fmt.Sprintf("k%07d", i*13))
+		}
+	})
+	e.Run(0)
+	_, _, diskReads, _ := tr.Stats()
+	if diskReads != 0 {
+		t.Fatalf("memory-bound config did %d disk reads, want 0", diskReads)
+	}
+}
+
+func TestWALTruncatedAfterFlush(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 500)
+	for i := 0; i < 100; i++ {
+		tr.LoadDirect(fmt.Sprintf("k%05d", i), fields("0123456789"))
+	}
+	// After flushes, node disk usage should be close to table bytes (WAL
+	// segments for flushed data are recycled; only unflushed payload stays).
+	nodeUsage := tr.cfg.Node.DiskUsed()
+	slack := tr.MemBytes() + 1
+	if nodeUsage > tr.DiskBytes()+slack {
+		t.Fatalf("node usage %d exceeds tables %d + unflushed %d", nodeUsage, tr.DiskBytes(), slack)
+	}
+}
+
+// Property: after any sequence of puts (with duplicates), every key returns
+// its most recent value, through any mixture of memtable/SSTable placement.
+func TestPropertyLastWriteWins(t *testing.T) {
+	f := func(ops []uint8) bool {
+		e := sim.NewEngine(3)
+		tr := newTree(e, 256) // tiny, lots of flushes
+		want := map[string]string{}
+		ok := true
+		e.Go("w", func(p *sim.Proc) {
+			for i, op := range ops {
+				k := fmt.Sprintf("k%02d", op%32)
+				v := fmt.Sprintf("v%d", i)
+				tr.Put(p, k, fields(v))
+				want[k] = v
+				p.Sleep(sim.Millisecond)
+			}
+			for k, v := range want {
+				got, found := tr.Get(p, k)
+				if !found || string(got[0]) != v {
+					ok = false
+				}
+			}
+		})
+		e.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPutThroughMemtable(b *testing.B) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 1<<30) // never flush: isolate memtable path
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			tr.Put(p, fmt.Sprintf("key%09d", i), fields("0123456789"))
+		}
+	})
+	b.ResetTimer()
+	e.Run(0)
+}
+
+func BenchmarkGetAcrossTables(b *testing.B) {
+	e := sim.NewEngine(1)
+	tr := newTree(e, 1<<14)
+	for i := 0; i < 50000; i++ {
+		tr.LoadDirect(fmt.Sprintf("key%09d", i), fields("0123456789"))
+	}
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			tr.Get(p, fmt.Sprintf("key%09d", i%50000))
+		}
+	})
+	b.ResetTimer()
+	e.Run(0)
+}

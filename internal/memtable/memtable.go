@@ -1,0 +1,138 @@
+// Package memtable implements a skip-list ordered in-memory table, the
+// write buffer of an LSM tree (Cassandra's Memtable, HBase's MemStore).
+package memtable
+
+import "math/rand"
+
+const maxHeight = 12
+
+// Entry is one key/value pair. Fields holds the record's column values.
+type Entry struct {
+	Key    string
+	Fields [][]byte
+}
+
+type node struct {
+	entry Entry
+	next  [maxHeight]*node
+}
+
+// Memtable is an ordered map from string keys to field lists, implemented
+// as a skip list. It is not safe for concurrent use (simulated processes
+// run one at a time).
+type Memtable struct {
+	head   *node
+	height int
+	n      int
+	bytes  int64
+	rng    *rand.Rand
+}
+
+// New creates an empty memtable with a deterministic tower-height source.
+func New(seed int64) *Memtable {
+	return &Memtable{
+		head:   &node{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func entryBytes(key string, fields [][]byte) int64 {
+	b := int64(len(key))
+	for _, f := range fields {
+		b += int64(len(f))
+	}
+	return b
+}
+
+func (m *Memtable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= k and fills prev
+// with the rightmost node before it on each level.
+func (m *Memtable) findGreaterOrEqual(k string, prev *[maxHeight]*node) *node {
+	x := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && x.next[lvl].entry.Key < k {
+			x = x.next[lvl]
+		}
+		if prev != nil {
+			prev[lvl] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Put inserts or replaces the value for key.
+func (m *Memtable) Put(key string, fields [][]byte) {
+	var prev [maxHeight]*node
+	x := m.findGreaterOrEqual(key, &prev)
+	if x != nil && x.entry.Key == key {
+		m.bytes += entryBytes(key, fields) - entryBytes(x.entry.Key, x.entry.Fields)
+		x.entry.Fields = fields
+		return
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for lvl := m.height; lvl < h; lvl++ {
+			prev[lvl] = m.head
+		}
+		m.height = h
+	}
+	nd := &node{entry: Entry{Key: key, Fields: fields}}
+	for lvl := 0; lvl < h; lvl++ {
+		nd.next[lvl] = prev[lvl].next[lvl]
+		prev[lvl].next[lvl] = nd
+	}
+	m.n++
+	m.bytes += entryBytes(key, fields)
+}
+
+// Get returns the fields for key and whether it was present.
+func (m *Memtable) Get(key string) ([][]byte, bool) {
+	x := m.findGreaterOrEqual(key, nil)
+	if x != nil && x.entry.Key == key {
+		return x.entry.Fields, true
+	}
+	return nil, false
+}
+
+// Scan returns up to count entries with keys >= start, in key order.
+func (m *Memtable) Scan(start string, count int) []Entry {
+	var out []Entry
+	x := m.findGreaterOrEqual(start, nil)
+	for x != nil && len(out) < count {
+		out = append(out, x.entry)
+		x = x.next[0]
+	}
+	return out
+}
+
+// Len returns the number of entries.
+func (m *Memtable) Len() int { return m.n }
+
+// Bytes returns the payload size of all entries (keys + field bytes).
+func (m *Memtable) Bytes() int64 { return m.bytes }
+
+// All returns every entry in key order (used when flushing to an SSTable).
+func (m *Memtable) All() []Entry {
+	out := make([]Entry, 0, m.n)
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, x.entry)
+	}
+	return out
+}
+
+// Iter calls fn for each entry in key order until fn returns false.
+func (m *Memtable) Iter(fn func(Entry) bool) {
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		if !fn(x.entry) {
+			return
+		}
+	}
+}

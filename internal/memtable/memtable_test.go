@@ -1,0 +1,199 @@
+package memtable
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func f1(s string) [][]byte { return [][]byte{[]byte(s)} }
+
+func TestPutGet(t *testing.T) {
+	m := New(1)
+	m.Put("b", f1("vb"))
+	m.Put("a", f1("va"))
+	m.Put("c", f1("vc"))
+	for _, k := range []string{"a", "b", "c"} {
+		v, ok := m.Get(k)
+		if !ok || string(v[0]) != "v"+k {
+			t.Fatalf("Get(%q) = %v, %v", k, v, ok)
+		}
+	}
+	if _, ok := m.Get("d"); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	m := New(1)
+	m.Put("k", f1("v1"))
+	m.Put("k", f1("v2"))
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", m.Len())
+	}
+	v, _ := m.Get("k")
+	if string(v[0]) != "v2" {
+		t.Fatalf("value = %s, want v2", v[0])
+	}
+}
+
+func TestScanOrderedFromStart(t *testing.T) {
+	m := New(1)
+	for i := 9; i >= 0; i-- {
+		m.Put(fmt.Sprintf("k%02d", i), f1("v"))
+	}
+	got := m.Scan("k03", 4)
+	if len(got) != 4 {
+		t.Fatalf("scan returned %d entries, want 4", len(got))
+	}
+	want := []string{"k03", "k04", "k05", "k06"}
+	for i, e := range got {
+		if e.Key != want[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, e.Key, want[i])
+		}
+	}
+}
+
+func TestScanStartBetweenKeys(t *testing.T) {
+	m := New(1)
+	m.Put("a", f1("v"))
+	m.Put("c", f1("v"))
+	got := m.Scan("b", 10)
+	if len(got) != 1 || got[0].Key != "c" {
+		t.Fatalf("scan from between keys = %v, want [c]", got)
+	}
+}
+
+func TestScanPastEnd(t *testing.T) {
+	m := New(1)
+	m.Put("a", f1("v"))
+	if got := m.Scan("z", 5); len(got) != 0 {
+		t.Fatalf("scan past end returned %v", got)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	m := New(1)
+	m.Put("key", [][]byte{[]byte("12345"), []byte("67890")}) // 3+5+5 = 13
+	if m.Bytes() != 13 {
+		t.Fatalf("Bytes = %d, want 13", m.Bytes())
+	}
+	m.Put("key", [][]byte{[]byte("1")}) // 3+1 = 4
+	if m.Bytes() != 4 {
+		t.Fatalf("Bytes after replace = %d, want 4", m.Bytes())
+	}
+}
+
+func TestAllReturnsSorted(t *testing.T) {
+	m := New(42)
+	keys := []string{"q", "a", "z", "m", "b"}
+	for _, k := range keys {
+		m.Put(k, f1("v"))
+	}
+	all := m.All()
+	if len(all) != len(keys) {
+		t.Fatalf("All returned %d entries, want %d", len(all), len(keys))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Key < all[j].Key }) {
+		t.Fatalf("All not sorted: %v", all)
+	}
+}
+
+func TestIterEarlyStop(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 10; i++ {
+		m.Put(fmt.Sprintf("k%d", i), f1("v"))
+	}
+	n := 0
+	m.Iter(func(Entry) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("iter visited %d entries, want 3", n)
+	}
+}
+
+// Property: the memtable agrees with a reference map and All() is sorted.
+func TestPropertyAgainstMap(t *testing.T) {
+	f := func(ops []struct {
+		K string
+		V string
+	}) bool {
+		m := New(99)
+		ref := map[string]string{}
+		for _, op := range ops {
+			m.Put(op.K, f1(op.V))
+			ref[op.K] = op.V
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := m.Get(k)
+			if !ok || string(got[0]) != v {
+				return false
+			}
+		}
+		all := m.All()
+		return sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scan(start, n) equals the reference-sorted slice filtered to
+// keys >= start, truncated to n.
+func TestPropertyScanMatchesSortedRef(t *testing.T) {
+	f := func(keys []string, start string, n8 uint8) bool {
+		n := int(n8%16) + 1
+		m := New(7)
+		ref := map[string]bool{}
+		for _, k := range keys {
+			m.Put(k, f1("v"))
+			ref[k] = true
+		}
+		var want []string
+		for k := range ref {
+			if k >= start {
+				want = append(want, k)
+			}
+		}
+		sort.Strings(want)
+		if len(want) > n {
+			want = want[:n]
+		}
+		got := m.Scan(start, n)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Key != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	m := New(1)
+	v := f1("0123456789")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(fmt.Sprintf("key%09d", i), v)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	m := New(1)
+	for i := 0; i < 100000; i++ {
+		m.Put(fmt.Sprintf("key%09d", i), f1("0123456789"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(fmt.Sprintf("key%09d", i%100000))
+	}
+}

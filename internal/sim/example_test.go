@@ -1,0 +1,44 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// A tiny client/server simulation: three clients share a single-threaded
+// server; each request costs 10ms of service time, so the third request
+// completes at 30ms of virtual time.
+func Example() {
+	e := sim.NewEngine(1)
+	server := sim.NewResource(e, "server", 1)
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+			p.Use(server, 10*sim.Millisecond)
+			fmt.Printf("request %d done at %v\n", i, p.Now())
+		})
+	}
+	e.Run(0)
+	// Output:
+	// request 1 done at 10.00ms
+	// request 2 done at 20.00ms
+	// request 3 done at 30.00ms
+}
+
+// Processes can sleep in virtual time and wake each other.
+func ExampleProc_Park() {
+	e := sim.NewEngine(1)
+	var waiter *sim.Proc
+	waiter = e.Go("waiter", func(p *sim.Proc) {
+		p.Park()
+		fmt.Printf("woken at %v\n", p.Now())
+	})
+	e.Go("waker", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Millisecond)
+		waiter.Wake()
+	})
+	e.Run(0)
+	// Output:
+	// woken at 5.00ms
+}

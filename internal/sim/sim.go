@@ -1,0 +1,232 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock from event to event. Simulated
+// activities are written as ordinary Go functions running in "processes"
+// (goroutines that are resumed one at a time by the engine, so process code
+// never races with other process code). Processes sleep in virtual time,
+// queue on counted resources, and park/wake explicitly, which is enough to
+// express clients, servers, disks, NICs and background daemons.
+//
+// All randomness used by a simulation should come from Engine.Rand so that a
+// run is fully determined by its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations, mirroring time.Duration's constants but in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.2fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier run earlier, keeping runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// yield is signaled by the currently running process when it parks or
+	// terminates, handing control back to the engine loop. Exactly one
+	// process runs at any instant.
+	yield chan struct{}
+
+	procs   int // live processes (started and not yet finished)
+	stopped bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from process code or event callbacks (never concurrently).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at now+delay. A negative delay is treated as zero.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until no events remain, until the clock passes until
+// (when until > 0), or until Stop is called. It returns the virtual time at
+// which it stopped.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		if until > 0 && ev.at > until {
+			// Push back so a later Run can resume exactly here.
+			heap.Push(&e.events, ev)
+			e.now = until
+			return e.now
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if until > 0 && e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.now
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Procs reports the number of live processes.
+func (e *Engine) Procs() int { return e.procs }
+
+// Proc is a simulated process: a goroutine that runs in lockstep with the
+// engine. Process code calls Sleep/Park/Acquire to advance virtual time.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Go starts fn as a new process at the current virtual time. The process
+// begins executing when the engine reaches the start event.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	e.Schedule(0, func() {
+		go func() {
+			fn(p)
+			p.dead = true
+			e.procs--
+			e.yield <- struct{}{}
+		}()
+		<-e.yield
+	})
+	return p
+}
+
+// GoAt starts fn as a new process after delay.
+func (e *Engine) GoAt(delay Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	e.Schedule(delay, func() {
+		go func() {
+			fn(p)
+			p.dead = true
+			e.procs--
+			e.yield <- struct{}{}
+		}()
+		<-e.yield
+	})
+	return p
+}
+
+// Engine returns the engine that owns p.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Rand returns the engine's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.eng.rng }
+
+// park hands control back to the engine and blocks until woken.
+func (p *Proc) park() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules p to resume at now+delay.
+func (e *Engine) wake(p *Proc, delay Time) {
+	e.Schedule(delay, func() {
+		p.resume <- struct{}{}
+		<-e.yield
+	})
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.wake(p, d)
+	p.park()
+}
+
+// Park blocks the process until another process or event calls Wake.
+func (p *Proc) Park() { p.park() }
+
+// Wake resumes a process parked with Park at the current virtual time.
+// Calling Wake on a process that is not parked is a programming error and
+// will deadlock the simulation; the engine cannot detect it cheaply.
+func (p *Proc) Wake() { p.eng.wake(p, 0) }
+
+// WakeAfter resumes a parked process after delay.
+func (p *Proc) WakeAfter(delay Time) { p.eng.wake(p, delay) }

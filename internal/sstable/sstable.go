@@ -1,0 +1,129 @@
+// Package sstable implements immutable sorted string tables: the on-disk
+// runs produced by LSM memtable flushes and compactions (Cassandra SSTables,
+// HBase HFiles). Tables carry a Bloom filter and per-cell format overhead
+// accounting, which is what makes the disk-usage experiment (paper Fig 17)
+// reproducible: the stores blow up 75-byte records by storing schema and
+// version information with every cell.
+package sstable
+
+import (
+	"sort"
+
+	"repro/internal/bloom"
+	"repro/internal/memtable"
+)
+
+// Table is an immutable sorted run.
+type Table struct {
+	Gen     int // generation: higher = newer data wins during merges
+	entries []memtable.Entry
+	filter  *bloom.Filter
+	minKey  string
+	maxKey  string
+	// DiskBytes is the modeled on-disk size: payload plus per-cell and
+	// per-entry format overhead.
+	DiskBytes int64
+}
+
+// Overhead describes the on-disk format cost of a table beyond raw payload.
+type Overhead struct {
+	PerEntry int64 // per row: row header, key length fields, index entry share
+	PerCell  int64 // per column: column name, timestamp, length, version info
+}
+
+// Build creates a table from entries (they will be sorted; later duplicates
+// win). fpp is the Bloom filter false-positive target.
+func Build(gen int, entries []memtable.Entry, ov Overhead, fpp float64) *Table {
+	sorted := make([]memtable.Entry, len(entries))
+	copy(sorted, entries)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	// Deduplicate, keeping the last occurrence (newest write).
+	dedup := sorted[:0]
+	for i := 0; i < len(sorted); i++ {
+		if i+1 < len(sorted) && sorted[i+1].Key == sorted[i].Key {
+			continue
+		}
+		dedup = append(dedup, sorted[i])
+	}
+	t := &Table{Gen: gen, entries: dedup, filter: bloom.New(len(dedup), fpp)}
+	for _, e := range dedup {
+		t.filter.Add(e.Key)
+		t.DiskBytes += int64(len(e.Key)) + ov.PerEntry
+		for _, f := range e.Fields {
+			t.DiskBytes += int64(len(f)) + ov.PerCell
+		}
+	}
+	if len(dedup) > 0 {
+		t.minKey = dedup[0].Key
+		t.maxKey = dedup[len(dedup)-1].Key
+	}
+	return t
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// KeyRange returns the smallest and largest keys.
+func (t *Table) KeyRange() (string, string) { return t.minKey, t.maxKey }
+
+// MayContain consults the Bloom filter and key range.
+func (t *Table) MayContain(key string) bool {
+	if len(t.entries) == 0 || key < t.minKey || key > t.maxKey {
+		return false
+	}
+	return t.filter.MayContain(key)
+}
+
+// Get returns the fields for key.
+func (t *Table) Get(key string) ([][]byte, bool) {
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Key >= key })
+	if i < len(t.entries) && t.entries[i].Key == key {
+		return t.entries[i].Fields, true
+	}
+	return nil, false
+}
+
+// Scan returns up to count entries with keys >= start.
+func (t *Table) Scan(start string, count int) []memtable.Entry {
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Key >= start })
+	end := i + count
+	if end > len(t.entries) {
+		end = len(t.entries)
+	}
+	out := make([]memtable.Entry, end-i)
+	copy(out, t.entries[i:end])
+	return out
+}
+
+// FilterBytes returns the Bloom filter's memory footprint.
+func (t *Table) FilterBytes() int64 { return t.filter.SizeBytes() }
+
+// Merge combines tables into one run; for duplicate keys the entry from the
+// table with the highest generation wins. The result's generation is the
+// maximum input generation.
+func Merge(tables []*Table, ov Overhead, fpp float64) *Table {
+	byGen := make([]*Table, len(tables))
+	copy(byGen, tables)
+	sort.Slice(byGen, func(i, j int) bool { return byGen[i].Gen < byGen[j].Gen })
+	total := 0
+	maxGen := 0
+	for _, t := range byGen {
+		total += t.Len()
+		if t.Gen > maxGen {
+			maxGen = t.Gen
+		}
+	}
+	// Apply oldest-to-newest into a map, then rebuild sorted. O(n log n),
+	// fine at simulation scale and obviously correct.
+	merged := make(map[string][][]byte, total)
+	for _, t := range byGen {
+		for _, e := range t.entries {
+			merged[e.Key] = e.Fields
+		}
+	}
+	entries := make([]memtable.Entry, 0, len(merged))
+	for k, f := range merged {
+		entries = append(entries, memtable.Entry{Key: k, Fields: f})
+	}
+	return Build(maxGen, entries, ov, fpp)
+}

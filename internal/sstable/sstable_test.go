@@ -1,0 +1,168 @@
+package sstable
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memtable"
+)
+
+var ov = Overhead{PerEntry: 10, PerCell: 20}
+
+func entry(k, v string) memtable.Entry {
+	return memtable.Entry{Key: k, Fields: [][]byte{[]byte(v)}}
+}
+
+func TestBuildSortsAndGets(t *testing.T) {
+	tb := Build(1, []memtable.Entry{entry("c", "3"), entry("a", "1"), entry("b", "2")}, ov, 0.01)
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok := tb.Get(k); !ok {
+			t.Fatalf("Get(%q) missing", k)
+		}
+	}
+	if _, ok := tb.Get("z"); ok {
+		t.Fatal("found absent key")
+	}
+	min, max := tb.KeyRange()
+	if min != "a" || max != "c" {
+		t.Fatalf("range = [%s,%s], want [a,c]", min, max)
+	}
+}
+
+func TestBuildDeduplicatesKeepingLast(t *testing.T) {
+	tb := Build(1, []memtable.Entry{entry("k", "old"), entry("k", "new")}, ov, 0.01)
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	v, _ := tb.Get("k")
+	if string(v[0]) != "new" {
+		t.Fatalf("value = %s, want new (last write wins)", v[0])
+	}
+}
+
+func TestMayContainRespectsRange(t *testing.T) {
+	tb := Build(1, []memtable.Entry{entry("m", "1"), entry("p", "2")}, ov, 0.01)
+	if tb.MayContain("a") {
+		t.Fatal("key below range should be excluded without a filter probe")
+	}
+	if tb.MayContain("z") {
+		t.Fatal("key above range should be excluded")
+	}
+	if !tb.MayContain("m") || !tb.MayContain("p") {
+		t.Fatal("present keys must pass the filter")
+	}
+}
+
+func TestDiskBytesIncludesOverhead(t *testing.T) {
+	// one entry: key "kk" (2) + perEntry 10 + 2 cells of 5 bytes + 2*20.
+	e := memtable.Entry{Key: "kk", Fields: [][]byte{[]byte("12345"), []byte("67890")}}
+	tb := Build(1, []memtable.Entry{e}, ov, 0.01)
+	want := int64(2 + 10 + 5 + 20 + 5 + 20)
+	if tb.DiskBytes != want {
+		t.Fatalf("DiskBytes = %d, want %d", tb.DiskBytes, want)
+	}
+}
+
+func TestScan(t *testing.T) {
+	var es []memtable.Entry
+	for i := 0; i < 20; i++ {
+		es = append(es, entry(fmt.Sprintf("k%02d", i), "v"))
+	}
+	tb := Build(1, es, ov, 0.01)
+	got := tb.Scan("k05", 3)
+	if len(got) != 3 || got[0].Key != "k05" || got[2].Key != "k07" {
+		t.Fatalf("scan = %v", got)
+	}
+	if got := tb.Scan("k19", 10); len(got) != 1 {
+		t.Fatalf("tail scan length = %d, want 1", len(got))
+	}
+}
+
+func TestMergeNewestGenerationWins(t *testing.T) {
+	older := Build(1, []memtable.Entry{entry("k", "old"), entry("a", "1")}, ov, 0.01)
+	newer := Build(2, []memtable.Entry{entry("k", "new"), entry("b", "2")}, ov, 0.01)
+	// Pass in arbitrary order; generation decides.
+	m := Merge([]*Table{newer, older}, ov, 0.01)
+	if m.Len() != 3 {
+		t.Fatalf("merged Len = %d, want 3", m.Len())
+	}
+	v, _ := m.Get("k")
+	if string(v[0]) != "new" {
+		t.Fatalf("merged value = %s, want new", v[0])
+	}
+	if m.Gen != 2 {
+		t.Fatalf("merged gen = %d, want 2", m.Gen)
+	}
+}
+
+func TestMergeReducesDiskBytesOnOverlap(t *testing.T) {
+	a := Build(1, []memtable.Entry{entry("k", "1")}, ov, 0.01)
+	b := Build(2, []memtable.Entry{entry("k", "2")}, ov, 0.01)
+	m := Merge([]*Table{a, b}, ov, 0.01)
+	if m.DiskBytes >= a.DiskBytes+b.DiskBytes {
+		t.Fatalf("merge of duplicates did not reclaim space: %d >= %d", m.DiskBytes, a.DiskBytes+b.DiskBytes)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := Build(1, nil, ov, 0.01)
+	if tb.Len() != 0 || tb.MayContain("x") {
+		t.Fatal("empty table misbehaves")
+	}
+	if got := tb.Scan("", 10); len(got) != 0 {
+		t.Fatal("scan of empty table returned entries")
+	}
+}
+
+// Property: merging two tables yields exactly the union of keys, with values
+// from the newer generation on conflicts.
+func TestPropertyMergeUnion(t *testing.T) {
+	f := func(aKeys, bKeys []uint8) bool {
+		var aes, bes []memtable.Entry
+		for _, k := range aKeys {
+			aes = append(aes, entry(fmt.Sprintf("k%03d", k), "a"))
+		}
+		for _, k := range bKeys {
+			bes = append(bes, entry(fmt.Sprintf("k%03d", k), "b"))
+		}
+		ta := Build(1, aes, ov, 0.01)
+		tb := Build(2, bes, ov, 0.01)
+		m := Merge([]*Table{ta, tb}, ov, 0.01)
+		want := map[string]string{}
+		for _, k := range aKeys {
+			want[fmt.Sprintf("k%03d", k)] = "a"
+		}
+		for _, k := range bKeys {
+			want[fmt.Sprintf("k%03d", k)] = "b"
+		}
+		if m.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			got, ok := m.Get(k)
+			if !ok || string(got[0]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var es []memtable.Entry
+	for i := 0; i < 100000; i++ {
+		es = append(es, entry(fmt.Sprintf("key%09d", i), "0123456789"))
+	}
+	tb := Build(1, es, ov, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Get(fmt.Sprintf("key%09d", i%100000))
+	}
+}

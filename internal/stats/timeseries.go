@@ -1,0 +1,66 @@
+package stats
+
+import "repro/internal/sim"
+
+// ThroughputSeries buckets completed operations into fixed virtual-time
+// intervals, giving a throughput-over-time curve. The harness uses it to
+// verify that a measurement window has reached steady state (the paper ran
+// 600 s precisely to average out such transients).
+type ThroughputSeries struct {
+	interval sim.Time
+	start    sim.Time
+	counts   []int64
+}
+
+// NewThroughputSeries creates a series with the given bucket width.
+func NewThroughputSeries(start sim.Time, interval sim.Time) *ThroughputSeries {
+	if interval <= 0 {
+		interval = 100 * sim.Millisecond
+	}
+	return &ThroughputSeries{interval: interval, start: start}
+}
+
+// Record adds one completed operation at virtual time now.
+func (s *ThroughputSeries) Record(now sim.Time) {
+	if now < s.start {
+		return
+	}
+	idx := int((now - s.start) / s.interval)
+	for len(s.counts) <= idx {
+		s.counts = append(s.counts, 0)
+	}
+	s.counts[idx]++
+}
+
+// Buckets returns the per-interval throughput in operations per second.
+func (s *ThroughputSeries) Buckets() []float64 {
+	out := make([]float64, len(s.counts))
+	sec := s.interval.Seconds()
+	for i, c := range s.counts {
+		out[i] = float64(c) / sec
+	}
+	return out
+}
+
+// Interval returns the bucket width.
+func (s *ThroughputSeries) Interval() sim.Time { return s.interval }
+
+// Stability returns the ratio of the last bucket's throughput to the mean
+// of all complete buckets: ~1.0 indicates steady state, <1 a slowdown over
+// the window (e.g. Redis swapping as inserts accumulate), >1 still ramping.
+// It returns 1 when there is not enough data to judge.
+func (s *ThroughputSeries) Stability() float64 {
+	if len(s.counts) < 3 {
+		return 1
+	}
+	complete := s.counts[:len(s.counts)-1] // last bucket may be partial
+	var sum int64
+	for _, c := range complete {
+		sum += c
+	}
+	mean := float64(sum) / float64(len(complete))
+	if mean == 0 {
+		return 1
+	}
+	return float64(complete[len(complete)-1]) / mean
+}

@@ -1,0 +1,95 @@
+// Package store defines the common interface implemented by the six
+// benchmarked data store models, plus the record shape of the APM use case:
+// a 25-byte key and five 10-byte value fields (75 bytes raw, paper §3).
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NumFields is the number of value fields per record.
+const NumFields = 5
+
+// FieldBytes is the size of each value field.
+const FieldBytes = 10
+
+// KeyBytes is the key length.
+const KeyBytes = 25
+
+// RawRecordBytes is the raw payload per record (key excluded, as in the
+// paper's "700 MB of raw data per node" for 10M records).
+const RawRecordBytes = NumFields*FieldBytes + KeyBytes
+
+// Fields is a record's value fields.
+type Fields [][]byte
+
+// Record is a key with its fields.
+type Record struct {
+	Key    string
+	Fields Fields
+}
+
+// Key formats record number i as the fixed-width 25-byte benchmark key.
+// Like YCSB's default (insertorder=hashed), the record number is hashed so
+// that key ranges are uniformly loaded even though records are inserted in
+// sequence; fixed-width zero-padded decimals make lexicographic order equal
+// numeric order, which ordered stores (HBase) rely on.
+func Key(i int64) string { return fmt.Sprintf("user%021d", permute(uint64(i))) }
+
+// permute is MurmurHash3's 64-bit finalizer: a bijective mixer, so distinct
+// record numbers always produce distinct keys.
+func permute(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// MakeFields builds a deterministic 5x10-byte field set for record i.
+func MakeFields(i int64) Fields {
+	f := make(Fields, NumFields)
+	for j := range f {
+		f[j] = []byte(fmt.Sprintf("%09d%d", i%1e9, j))
+	}
+	return f
+}
+
+// ErrNotFound is returned when a read misses.
+var ErrNotFound = errors.New("store: key not found")
+
+// ErrScansUnsupported is returned by stores without scan support (the
+// Voldemort YCSB client in the paper).
+var ErrScansUnsupported = errors.New("store: scans not supported")
+
+// ErrOverloaded is returned when a store rejects work (e.g. a Redis shard
+// out of memory).
+var ErrOverloaded = errors.New("store: node overloaded")
+
+// Store is a simulated data store deployed across a cluster. All timed
+// methods run inside a simulation process and advance virtual time by the
+// full client-observed operation latency.
+type Store interface {
+	// Name identifies the system ("cassandra", "hbase", ...).
+	Name() string
+	// Insert appends a new record (APM data is append-only).
+	Insert(p *sim.Proc, key string, f Fields) error
+	// Update overwrites an existing record.
+	Update(p *sim.Proc, key string, f Fields) error
+	// Read fetches all fields of one record.
+	Read(p *sim.Proc, key string) (Fields, error)
+	// Scan returns up to count records with keys >= start.
+	Scan(p *sim.Proc, start string, count int) ([]Record, error)
+	// SupportsScan reports whether Scan is implemented.
+	SupportsScan() bool
+	// Load inserts a record without consuming virtual time; used to
+	// populate the store before a measured run. Disk/memory accounting
+	// still happens.
+	Load(key string, f Fields) error
+	// DiskUsage returns durable bytes across all nodes.
+	DiskUsage() int64
+}

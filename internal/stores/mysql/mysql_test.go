@@ -1,0 +1,147 @@
+package mysql
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func deploy(nodes int, opts Options) (*sim.Engine, *Store) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.ClusterM(nodes).Scale(0.01))
+	return e, New(c, opts)
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.ReadCPU == 0 || o.TailRowCPU == 0 || o.PurgeCapPerSec == 0 || o.ScaleComp != 1 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+}
+
+func TestConnOverheadGrowsWithThreads(t *testing.T) {
+	few := Options{ClientThreads: 128}
+	many := Options{ClientThreads: 1536}
+	few.defaults()
+	many.defaults()
+	if many.connOverhead() <= few.connOverhead() {
+		t.Fatal("per-op connection overhead must grow with total client threads (§6)")
+	}
+}
+
+func TestShardingBalanced(t *testing.T) {
+	_, s := deploy(4, Options{})
+	for i := int64(0); i < 40000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	for i, sh := range s.shards {
+		frac := float64(sh.db.Len()) / 40000
+		if frac < 0.2 || frac > 0.3 {
+			t.Fatalf("shard %d holds %.2f, want ~0.25 (hash-mod shards well)", i, frac)
+		}
+	}
+}
+
+func TestSingleNodeScanHonorsLimit(t *testing.T) {
+	e, s := deploy(1, Options{})
+	for i := int64(0); i < 10000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	var lat sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		start := p.Now()
+		recs, err := s.Scan(p, store.Key(0), 50)
+		lat = p.Now() - start
+		if err != nil || len(recs) != 50 {
+			t.Errorf("scan: %d recs, %v", len(recs), err)
+		}
+	})
+	e.Run(0)
+	if lat > 5*sim.Millisecond {
+		t.Fatalf("1-node scan took %v, want fast LIMIT path", lat)
+	}
+}
+
+func TestShardedScanPaysTailCost(t *testing.T) {
+	e, s := deploy(2, Options{ScaleComp: 100})
+	for i := int64(0); i < 20000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	var lat sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		start := p.Now()
+		recs, err := s.Scan(p, store.Key(0), 50)
+		lat = p.Now() - start
+		if err != nil || len(recs) != 50 {
+			t.Errorf("scan: %d recs, %v", len(recs), err)
+		}
+	})
+	e.Run(0)
+	// ~10k rows/shard tail x comp 100 x 40ns = ~40ms/shard x 2 shards.
+	if lat < 50*sim.Millisecond {
+		t.Fatalf("sharded scan took %v, want expensive tail query (§5.4)", lat)
+	}
+}
+
+func TestPurgeBacklogGrowsUnderHeavyInserts(t *testing.T) {
+	e, s := deploy(1, Options{PurgeCapPerSec: 100})
+	// Sustained inserts above the purge cap leave a growing backlog.
+	e.Go("w", func(p *sim.Proc) {
+		for i := int64(0); i < 3000; i++ {
+			s.Insert(p, store.Key(i), store.MakeFields(i))
+		}
+	})
+	e.Run(3 * sim.Second)
+	if s.shards[0].unpurged < 1000 {
+		t.Fatalf("backlog = %d after insert burst with cap 100/s, want growth", s.shards[0].unpurged)
+	}
+	// Let the purger drain with no more writes arriving.
+	drainFor := sim.Time(s.shards[0].unpurged/100+5) * sim.Second
+	e.Run(e.Now() + drainFor)
+	if s.shards[0].unpurged != 0 {
+		t.Fatalf("backlog = %d after drain window, want 0", s.shards[0].unpurged)
+	}
+}
+
+func TestVersionPenaltySlowsScan(t *testing.T) {
+	e, s := deploy(1, Options{})
+	for i := int64(0); i < 5000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	s.shards[0].unpurged = 50000 // simulate purge lag
+	var lat sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		start := p.Now()
+		s.Scan(p, store.Key(0), 50)
+		lat = p.Now() - start
+	})
+	e.Run(0)
+	if lat < 40*sim.Millisecond {
+		t.Fatalf("scan with 50k unpurged versions took %v, want MVCC penalty", lat)
+	}
+}
+
+func TestBinlogAccounting(t *testing.T) {
+	_, with := deploy(1, Options{BinLog: true})
+	_, without := deploy(1, Options{BinLog: false})
+	for i := int64(0); i < 1000; i++ {
+		with.Load(store.Key(i), store.MakeFields(i))
+		without.Load(store.Key(i), store.MakeFields(i))
+	}
+	diff := with.DiskUsage() - without.DiskUsage()
+	if diff != 1000*binlogBytesPerRecord {
+		t.Fatalf("binlog bytes = %d, want %d", diff, 1000*binlogBytesPerRecord)
+	}
+}
+
+func TestDefaultConstructor(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.ClusterM(1).Scale(0.01))
+	s := Default(c)
+	if !s.opts.BinLog {
+		t.Fatal("Default must enable the binary log (paper configuration)")
+	}
+}

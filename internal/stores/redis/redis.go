@@ -1,0 +1,279 @@
+// Package redis models the paper's Redis deployment: independent
+// single-node in-memory instances sharded on the client side with a
+// Jedis-style MurmurHash ring (§4.4, §6). Each instance runs a
+// single-threaded event loop; the YCSB client stores each record in a hash
+// and additionally indexes the key in a sorted set so scans are possible.
+//
+// The two behaviours that shaped the paper's results are reproduced:
+//
+//   - the Jedis ring distributes keys unevenly, so the hottest instance
+//     saturates first and caps aggregate throughput (§5.1);
+//   - per-record memory overhead (dict entry, robj headers, sorted-set skip
+//     list node, allocator slack) is far larger than the 75-byte payload, so
+//     the hottest node exhausts its RAM at 12 nodes and begins swapping —
+//     "this actually caused one Redis node to consistently run out of
+//     memory in the 12 node configuration".
+package redis
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/hashring"
+	"repro/internal/memtable"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/stores/base"
+)
+
+// Options tunes the model.
+type Options struct {
+	// PerRecordOverhead is resident bytes per record beyond the payload.
+	// Calibrated so that ~13M records approach a 16 GB node (EXPERIMENTS.md).
+	PerRecordOverhead int64
+	// ReadCPU/WriteCPU are event-loop service times per operation.
+	ReadCPU  sim.Time
+	WriteCPU sim.Time
+	// ScanPerRecordCPU is the per-returned-record cost of ZRANGEBYLEX+HGETALL.
+	ScanPerRecordCPU sim.Time
+	// Balanced replaces the Jedis ring with uniform hash-mod sharding
+	// (ablation: what Redis scaling would look like with good sharding).
+	Balanced bool
+	// MemScale scales the memory reserved by runtime inserts. In a scaled
+	// simulation node RAM is multiplied by the scale factor while insert
+	// *rates* are not, so unscaled runtime growth would hit the RAM
+	// ceiling 1/scale times too fast; the harness passes its scale factor
+	// so the pressure trajectory over a measured window matches the
+	// paper's. Loaded data is always accounted in full.
+	MemScale float64
+}
+
+func (o *Options) defaults() {
+	if o.PerRecordOverhead == 0 {
+		o.PerRecordOverhead = 1200
+	}
+	if o.ReadCPU == 0 {
+		o.ReadCPU = 18 * sim.Microsecond
+	}
+	if o.WriteCPU == 0 {
+		o.WriteCPU = 22 * sim.Microsecond
+	}
+	if o.ScanPerRecordCPU == 0 {
+		o.ScanPerRecordCPU = 3 * sim.Microsecond
+	}
+	if o.MemScale == 0 {
+		o.MemScale = 1
+	}
+}
+
+type sharder interface {
+	Owner(key string) int
+}
+
+// Store is the sharded Redis deployment.
+type Store struct {
+	opts  Options
+	clust *cluster.Cluster
+	ring  sharder
+	insts []*instance
+}
+
+// instance is one single-threaded Redis process.
+type instance struct {
+	node *cluster.Node
+	loop *sim.Resource // the single event-loop thread
+	// hash + sorted-set index: one ordered structure serves both.
+	data      *memtable.Memtable
+	resident  int64 // bytes of RAM in use
+	swapping  bool
+	swapBlock int64
+}
+
+// New deploys one instance per cluster node.
+func New(c *cluster.Cluster, opts Options) *Store {
+	opts.defaults()
+	s := &Store{opts: opts, clust: c}
+	if opts.Balanced {
+		s.ring = hashring.NewMod(len(c.Nodes))
+	} else {
+		s.ring = hashring.NewJedisRing(len(c.Nodes))
+	}
+	for i, n := range c.Nodes {
+		s.insts = append(s.insts, &instance{
+			node: n,
+			loop: sim.NewResource(c.Eng, "redis-loop", 1),
+			data: memtable.New(int64(i) + 7),
+		})
+	}
+	return s
+}
+
+// Name implements store.Store.
+func (s *Store) Name() string { return "redis" }
+
+// SupportsScan implements store.Store.
+func (s *Store) SupportsScan() bool { return true }
+
+func (s *Store) inst(key string) *instance { return s.insts[s.ring.Owner(key)] }
+
+func recordBytes(key string, f store.Fields) int64 {
+	b := int64(len(key))
+	for _, v := range f {
+		b += int64(len(v))
+	}
+	return b
+}
+
+// swapPenalty charges anonymous-page swap I/O when the instance has
+// exceeded physical memory; the further past RAM it is, the more likely an
+// access touches a swapped page.
+func (in *instance) swapPenalty(p *sim.Proc) {
+	if !in.swapping {
+		return
+	}
+	// The fraction of the instance's pages that cannot be resident is the
+	// probability a uniformly chosen record touches a swapped page.
+	prob := 1 - float64(in.node.Spec.RAMBytes)/float64(in.resident)
+	if prob <= 0 {
+		return
+	}
+	if p.Rand().Float64() < prob {
+		in.node.DiskRead(p, 4096, true)
+	}
+}
+
+func (in *instance) reserve(key string, f store.Fields, overhead int64, memScale float64) {
+	delta := int64(float64(recordBytes(key, f)+overhead) * memScale)
+	in.resident += delta
+	in.node.ReserveRAM(delta)
+	if in.resident > in.node.Spec.RAMBytes {
+		in.swapping = true
+	}
+}
+
+// Insert implements store.Store.
+func (s *Store) Insert(p *sim.Proc, key string, f store.Fields) error {
+	in := s.inst(key)
+	base.Roundtrip(p, in.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
+		in.loop.Acquire(p)
+		in.swapPenalty(p)
+		in.node.Compute(p, s.opts.WriteCPU)
+		in.data.Put(key, f)
+		in.reserve(key, f, s.opts.PerRecordOverhead, s.opts.MemScale)
+		in.loop.Release()
+	})
+	return nil
+}
+
+// Update implements store.Store. Redis HSET of an existing key costs the
+// same as an insert without new memory.
+func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
+	in := s.inst(key)
+	base.Roundtrip(p, in.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
+		in.loop.Acquire(p)
+		in.swapPenalty(p)
+		in.node.Compute(p, s.opts.WriteCPU)
+		in.data.Put(key, f)
+		in.loop.Release()
+	})
+	return nil
+}
+
+// Read implements store.Store.
+func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
+	in := s.inst(key)
+	var out store.Fields
+	var ok bool
+	base.Roundtrip(p, in.node, base.ReqHeader, base.RecordWire, func() {
+		in.loop.Acquire(p)
+		in.swapPenalty(p)
+		in.node.Compute(p, s.opts.ReadCPU)
+		out, ok = in.data.Get(key)
+		in.loop.Release()
+	})
+	if !ok {
+		return nil, store.ErrNotFound
+	}
+	return out, nil
+}
+
+// Scan implements store.Store. The sharded client must consult every
+// instance (hash sharding destroys key order) and merge.
+func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+	var all []memtable.Entry
+	for _, in := range s.insts {
+		in := in
+		base.Roundtrip(p, in.node, base.ReqHeader, int64(count)*base.RecordWire, func() {
+			in.loop.Acquire(p)
+			in.swapPenalty(p)
+			in.node.Compute(p, s.opts.ReadCPU+sim.Time(count)*s.opts.ScanPerRecordCPU)
+			all = append(all, in.data.Scan(start, count)...)
+			in.loop.Release()
+		})
+	}
+	return mergeEntries(all, count), nil
+}
+
+func mergeEntries(es []memtable.Entry, count int) []store.Record {
+	// Small k-way merge by selection: entries per shard are sorted; total
+	// size is at most shards*count, so a simple sort is fine.
+	out := make([]store.Record, 0, count)
+	used := make([]bool, len(es))
+	for len(out) < count {
+		best := -1
+		for i, e := range es {
+			if used[i] {
+				continue
+			}
+			if best == -1 || e.Key < es[best].Key {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		used[best] = true
+		out = append(out, store.Record{Key: es[best].Key, Fields: es[best].Fields})
+	}
+	return out
+}
+
+// Load implements store.Store.
+func (s *Store) Load(key string, f store.Fields) error {
+	in := s.inst(key)
+	in.data.Put(key, f)
+	in.reserve(key, f, s.opts.PerRecordOverhead, 1) // full accounting
+	return nil
+}
+
+// DiskUsage implements store.Store: Redis keeps data in memory (the paper
+// excludes it from the disk-usage experiment).
+func (s *Store) DiskUsage() int64 { return 0 }
+
+// HottestLoadFactor reports max instance records / mean, quantifying the
+// sharding imbalance.
+func (s *Store) HottestLoadFactor() float64 {
+	maxN, total := 0, 0
+	for _, in := range s.insts {
+		n := in.data.Len()
+		total += n
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(maxN) / (float64(total) / float64(len(s.insts)))
+}
+
+// SwappingNodes reports how many instances have exceeded physical RAM.
+func (s *Store) SwappingNodes() int {
+	n := 0
+	for _, in := range s.insts {
+		if in.swapping {
+			n++
+		}
+	}
+	return n
+}
+
+var _ store.Store = (*Store)(nil)

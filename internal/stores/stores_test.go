@@ -1,0 +1,238 @@
+// Package stores_test runs the cross-cutting contract tests every store
+// model must satisfy: CRUD correctness through the simulation, scan
+// semantics, and load accounting.
+package stores_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/stores/cassandra"
+	"repro/internal/stores/hbase"
+	"repro/internal/stores/mysql"
+	"repro/internal/stores/redis"
+	"repro/internal/stores/voldemort"
+	"repro/internal/stores/voltdb"
+)
+
+// deployAll builds every store on a fresh small cluster.
+func deployAll(t *testing.T, nodes int) map[string]func() (*sim.Engine, store.Store) {
+	t.Helper()
+	mk := func(build func(c *cluster.Cluster) store.Store) func() (*sim.Engine, store.Store) {
+		return func() (*sim.Engine, store.Store) {
+			e := sim.NewEngine(1)
+			c := cluster.New(e, cluster.ClusterM(nodes).Scale(0.01))
+			return e, build(c)
+		}
+	}
+	return map[string]func() (*sim.Engine, store.Store){
+		"cassandra": mk(func(c *cluster.Cluster) store.Store {
+			return cassandra.New(c, cassandra.Options{MemtableFlushBytes: 64 << 10})
+		}),
+		"hbase": mk(func(c *cluster.Cluster) store.Store {
+			return hbase.New(c, hbase.Options{MemstoreFlushBytes: 64 << 10})
+		}),
+		"voldemort": mk(func(c *cluster.Cluster) store.Store {
+			return voldemort.New(c, voldemort.Options{})
+		}),
+		"redis": mk(func(c *cluster.Cluster) store.Store {
+			return redis.New(c, redis.Options{})
+		}),
+		"voltdb": mk(func(c *cluster.Cluster) store.Store {
+			return voltdb.New(c, voltdb.Options{})
+		}),
+		"mysql": mk(func(c *cluster.Cluster) store.Store {
+			return mysql.New(c, mysql.Options{BinLog: true})
+		}),
+	}
+}
+
+func TestContractInsertThenRead(t *testing.T) {
+	for name, deploy := range deployAll(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			e, s := deploy()
+			e.Go("w", func(p *sim.Proc) {
+				for i := int64(0); i < 200; i++ {
+					if err := s.Insert(p, store.Key(i), store.MakeFields(i)); err != nil {
+						t.Errorf("insert %d: %v", i, err)
+						return
+					}
+				}
+				for i := int64(0); i < 200; i += 17 {
+					got, err := s.Read(p, store.Key(i))
+					if err != nil {
+						t.Errorf("read %d: %v", i, err)
+						return
+					}
+					want := store.MakeFields(i)
+					if len(got) != len(want) || string(got[0]) != string(want[0]) {
+						t.Errorf("read %d: got %q want %q", i, got[0], want[0])
+					}
+				}
+			})
+			e.Run(0)
+		})
+	}
+}
+
+func TestContractReadMissing(t *testing.T) {
+	for name, deploy := range deployAll(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			e, s := deploy()
+			e.Go("r", func(p *sim.Proc) {
+				if _, err := s.Read(p, "user000000000000000000000"); err != store.ErrNotFound {
+					t.Errorf("read of missing key: err = %v, want ErrNotFound", err)
+				}
+			})
+			e.Run(0)
+		})
+	}
+}
+
+func TestContractLoadThenRead(t *testing.T) {
+	for name, deploy := range deployAll(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			e, s := deploy()
+			for i := int64(0); i < 500; i++ {
+				if err := s.Load(store.Key(i), store.MakeFields(i)); err != nil {
+					t.Fatalf("load: %v", err)
+				}
+			}
+			if e.Now() != 0 {
+				t.Fatal("Load consumed virtual time")
+			}
+			e.Go("r", func(p *sim.Proc) {
+				for i := int64(0); i < 500; i += 31 {
+					if _, err := s.Read(p, store.Key(i)); err != nil {
+						t.Errorf("read %d after load: %v", i, err)
+					}
+				}
+			})
+			e.Run(0)
+		})
+	}
+}
+
+func TestContractScanOrderAndBound(t *testing.T) {
+	for name, deploy := range deployAll(t, 3) {
+		if name == "voldemort" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			e, s := deploy()
+			if !s.SupportsScan() {
+				t.Fatalf("%s should support scans", name)
+			}
+			for i := int64(0); i < 300; i++ {
+				s.Load(store.Key(i), store.MakeFields(i))
+			}
+			e.Go("r", func(p *sim.Proc) {
+				recs, err := s.Scan(p, store.Key(0), 20)
+				if err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+				if len(recs) != 20 {
+					t.Errorf("scan returned %d records, want 20", len(recs))
+					return
+				}
+				for i := 1; i < len(recs); i++ {
+					if recs[i].Key <= recs[i-1].Key {
+						t.Errorf("scan out of order at %d: %s <= %s", i, recs[i].Key, recs[i-1].Key)
+					}
+				}
+				if recs[0].Key < store.Key(0) {
+					t.Errorf("scan returned key %s below start %s", recs[0].Key, store.Key(0))
+				}
+			})
+			e.Run(0)
+		})
+	}
+}
+
+func TestContractUpdateOverwrites(t *testing.T) {
+	for name, deploy := range deployAll(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			e, s := deploy()
+			key := store.Key(5)
+			newFields := store.MakeFields(999)
+			e.Go("w", func(p *sim.Proc) {
+				if err := s.Insert(p, key, store.MakeFields(5)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if err := s.Update(p, key, newFields); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+				got, err := s.Read(p, key)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if string(got[0]) != string(newFields[0]) {
+					t.Errorf("after update got %q, want %q", got[0], newFields[0])
+				}
+			})
+			e.Run(0)
+		})
+	}
+}
+
+func TestVoldemortScansUnsupported(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.ClusterM(2).Scale(0.01))
+	s := voldemort.New(c, voldemort.Options{})
+	if s.SupportsScan() {
+		t.Fatal("voldemort should not support scans (paper §5.4)")
+	}
+	e.Go("r", func(p *sim.Proc) {
+		if _, err := s.Scan(p, "a", 10); err != store.ErrScansUnsupported {
+			t.Errorf("scan err = %v, want ErrScansUnsupported", err)
+		}
+	})
+	e.Run(0)
+}
+
+func TestStoreNames(t *testing.T) {
+	want := map[string]bool{"cassandra": true, "hbase": true, "voldemort": true,
+		"redis": true, "voltdb": true, "mysql": true}
+	for name, deploy := range deployAll(t, 1) {
+		_, s := deploy()
+		if s.Name() != name || !want[s.Name()] {
+			t.Errorf("store name %q under key %q", s.Name(), name)
+		}
+	}
+}
+
+func TestKeysFixedWidthAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := int64(0); i < 10000; i++ {
+		k := store.Key(i)
+		if len(k) != store.KeyBytes {
+			t.Fatalf("key %q has length %d, want %d", k, len(k), store.KeyBytes)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %q for record %d", k, i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMakeFieldsShape(t *testing.T) {
+	f := store.MakeFields(123)
+	if len(f) != store.NumFields {
+		t.Fatalf("fields = %d, want %d", len(f), store.NumFields)
+	}
+	for i, v := range f {
+		if len(v) != store.FieldBytes {
+			t.Fatalf("field %d has %d bytes, want %d", i, len(v), store.FieldBytes)
+		}
+	}
+	if fmt.Sprintf("%s", f[0]) == fmt.Sprintf("%s", f[1]) {
+		t.Fatal("fields should differ")
+	}
+}

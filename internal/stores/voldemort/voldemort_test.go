@@ -1,0 +1,138 @@
+package voldemort
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func deploy(nodes int, opts Options) (*sim.Engine, *Store) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.ClusterM(nodes).Scale(0.01))
+	return e, New(c, opts)
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.ClientPoolPerNode == 0 || o.ReadCPU == 0 || o.PartitionsPerNode != 2 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+}
+
+func TestPartitionRoutingStable(t *testing.T) {
+	_, s := deploy(4, Options{})
+	for i := int64(0); i < 100; i++ {
+		k := store.Key(i)
+		if s.server(k) != s.server(k) {
+			t.Fatal("routing not stable")
+		}
+	}
+}
+
+func TestDataSpreadAcrossNodes(t *testing.T) {
+	_, s := deploy(4, Options{})
+	for i := int64(0); i < 40000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	for i, sv := range s.nodes {
+		frac := float64(sv.db.Len()) / 40000
+		if frac < 0.1 || frac > 0.4 {
+			t.Fatalf("node %d holds %.2f of records, want roughly even", i, frac)
+		}
+	}
+}
+
+func TestClientPoolLimitsConcurrency(t *testing.T) {
+	e, s := deploy(1, Options{ClientPoolPerNode: 2})
+	s.Load(store.Key(1), store.MakeFields(1))
+	var last sim.Time
+	for i := 0; i < 8; i++ {
+		e.Go("c", func(p *sim.Proc) {
+			s.Read(p, store.Key(1))
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	e.Run(0)
+	// 8 reads through a pool of 2 take at least 4 service times.
+	var o Options
+	o.defaults()
+	if last < 4*o.ReadCPU {
+		t.Fatalf("8 reads via pool=2 finished at %v, too parallel", last)
+	}
+}
+
+func TestReadWriteLatencySymmetric(t *testing.T) {
+	e, s := deploy(2, Options{})
+	for i := int64(0); i < 20000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	var read, write sim.Time
+	e.Go("o", func(p *sim.Proc) {
+		start := p.Now()
+		s.Read(p, store.Key(100))
+		read = p.Now() - start
+		start = p.Now()
+		s.Insert(p, store.Key(90000), store.MakeFields(90000))
+		write = p.Now() - start
+	})
+	e.Run(0)
+	ratio := float64(write) / float64(read)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("write/read = %.2f (%v vs %v), want ~1 (paper: similar latencies)", ratio, write, read)
+	}
+}
+
+func TestDiskBoundReadsPaySeeks(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.ClusterD(1).Scale(0.002))
+	s := New(c, Options{BDBCacheFraction: 0.25})
+	for i := int64(0); i < 40000; i++ { // far exceeds the tiny BDB cache
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	var elapsed sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		start := p.Now()
+		for i := int64(0); i < 20; i++ {
+			s.Read(p, store.Key(i*1997))
+		}
+		elapsed = p.Now() - start
+	})
+	e.Run(0)
+	if elapsed < 20*sim.Millisecond {
+		t.Fatalf("20 cold reads took %v, want disk-bound latencies (Fig 19)", elapsed)
+	}
+}
+
+func TestScansRejected(t *testing.T) {
+	e, s := deploy(1, Options{})
+	e.Go("r", func(p *sim.Proc) {
+		if _, err := s.Scan(p, "x", 5); err != store.ErrScansUnsupported {
+			t.Errorf("scan err = %v", err)
+		}
+	})
+	e.Run(0)
+	if s.SupportsScan() {
+		t.Fatal("SupportsScan must be false")
+	}
+}
+
+func TestDiskUsageGrowsWithLoad(t *testing.T) {
+	_, s := deploy(1, Options{})
+	before := s.DiskUsage()
+	for i := int64(0); i < 10000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	after := s.DiskUsage()
+	if after <= before {
+		t.Fatal("disk usage did not grow")
+	}
+	per := float64(after) / 10000
+	if per < 450 || per > 650 {
+		t.Fatalf("bytes/record = %.0f, want ~550 (Fig 17: 5.5 GB / 10M)", per)
+	}
+}

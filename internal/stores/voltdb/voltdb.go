@@ -1,0 +1,236 @@
+// Package voltdb models VoltDB 2.1 as benchmarked in the paper (§4.5): a
+// shared-nothing, in-memory, partitioned relational engine with six
+// single-threaded execution sites per host. Reads, writes and inserts are
+// single-partition stored procedures; scans are multi-partition
+// transactions.
+//
+// The paper's central VoltDB observation — excellent single-node throughput
+// but *negative* scaling beyond one node with the synchronous YCSB client
+// (§5.1, §6, footnote on Hugg's asynchronous benchmark) — is reproduced via
+// the global transaction ordering path: with more than one host, every
+// transaction passes through cluster-wide initiation whose per-transaction
+// cost grows with the number of hosts, and a synchronous client cannot
+// amortize that coordination across batched transactions the way VoltDB's
+// asynchronous API does. Multi-partition transactions additionally fan out
+// to one site on every host and block each of them.
+package voltdb
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/hashring"
+	"repro/internal/memtable"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/stores/base"
+)
+
+// Options tunes the model.
+type Options struct {
+	SitesPerHost int      // single-threaded partitions per host (paper: 6)
+	ExecCPU      sim.Time // stored procedure execution cost on a site
+	// OrderPerHost is the per-transaction global-ordering cost per host in
+	// the cluster (zero cost on single-host deployments).
+	OrderPerHost sim.Time
+	// MPFanoutCPU is the per-site cost of a multi-partition transaction.
+	MPFanoutCPU sim.Time
+	ScanRowCPU  sim.Time
+	// Async models VoltDB's asynchronous client (ablation): transaction
+	// ordering is pipelined, so the ordering cost is not serialized through
+	// a single global sequencer.
+	Async bool
+}
+
+func (o *Options) defaults() {
+	if o.SitesPerHost == 0 {
+		o.SitesPerHost = 6
+	}
+	if o.ExecCPU == 0 {
+		o.ExecCPU = 110 * sim.Microsecond
+	}
+	if o.OrderPerHost == 0 {
+		o.OrderPerHost = 25 * sim.Microsecond
+	}
+	if o.MPFanoutCPU == 0 {
+		o.MPFanoutCPU = 180 * sim.Microsecond
+	}
+	if o.ScanRowCPU == 0 {
+		o.ScanRowCPU = 4 * sim.Microsecond
+	}
+}
+
+// Store is a VoltDB deployment.
+type Store struct {
+	opts  Options
+	clust *cluster.Cluster
+	ring  *hashring.Mod // partition router over hosts*sites partitions
+	hosts []*host
+	// sequencer is the cluster-wide transaction initiation/ordering path.
+	sequencer *sim.Resource
+}
+
+// host is one VoltDB server process.
+type host struct {
+	machine *cluster.Node
+	sites   []*site
+}
+
+// site is a single-threaded partition executor with its partition's data.
+type site struct {
+	exec *sim.Resource // capacity 1: the site thread
+	data *memtable.Memtable
+}
+
+// New deploys VoltDB across the cluster.
+func New(c *cluster.Cluster, opts Options) *Store {
+	opts.defaults()
+	s := &Store{opts: opts, clust: c}
+	s.ring = hashring.NewMod(len(c.Nodes) * opts.SitesPerHost)
+	s.sequencer = sim.NewResource(c.Eng, "voltdb-sequencer", 1)
+	for i, m := range c.Nodes {
+		h := &host{machine: m}
+		for j := 0; j < opts.SitesPerHost; j++ {
+			h.sites = append(h.sites, &site{
+				exec: sim.NewResource(c.Eng, "voltdb-site", 1),
+				data: memtable.New(int64(i*opts.SitesPerHost+j) + 31),
+			})
+		}
+		s.hosts = append(s.hosts, h)
+	}
+	return s
+}
+
+// Name implements store.Store.
+func (s *Store) Name() string { return "voltdb" }
+
+// SupportsScan implements store.Store.
+func (s *Store) SupportsScan() bool { return true }
+
+// route returns the host and site owning key.
+func (s *Store) route(key string) (*host, *site) {
+	part := s.ring.Owner(key)
+	h := s.hosts[part/s.opts.SitesPerHost]
+	return h, h.sites[part%s.opts.SitesPerHost]
+}
+
+// order pays the global transaction initiation cost. On one host this is
+// local and free; on multiple hosts each transaction costs OrderPerHost x
+// hosts, serialized through the cluster-wide sequencer for synchronous
+// clients.
+func (s *Store) order(p *sim.Proc, multiPartition bool) {
+	n := len(s.hosts)
+	if n <= 1 {
+		return
+	}
+	cost := sim.Time(n) * s.opts.OrderPerHost
+	if multiPartition {
+		cost *= 3
+	}
+	if s.opts.Async {
+		// Pipelined initiation: ordering overlaps with execution.
+		p.Sleep(cost / 4)
+		return
+	}
+	p.Use(s.sequencer, cost)
+}
+
+// singlePartition runs fn on the owning site as a single-partition txn.
+func (s *Store) singlePartition(p *sim.Proc, key string, reqBytes, respBytes int64, fn func(*host, *site)) {
+	h, st := s.route(key)
+	// The synchronous client connects to all hosts; the arrival host
+	// forwards to the owner when necessary (round-trip within the cluster).
+	arrival := s.hosts[p.Rand().Intn(len(s.hosts))]
+	serve := func() {
+		s.order(p, false)
+		st.exec.Acquire(p)
+		h.machine.Compute(p, s.opts.ExecCPU)
+		fn(h, st)
+		st.exec.Release()
+	}
+	base.Roundtrip(p, arrival.machine, reqBytes, respBytes, func() {
+		if arrival == h {
+			serve()
+			return
+		}
+		base.Forward(p, arrival.machine, h.machine, reqBytes, respBytes, serve)
+	})
+}
+
+// Read implements store.Store.
+func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
+	var out store.Fields
+	var ok bool
+	s.singlePartition(p, key, base.ReqHeader, base.RecordWire, func(h *host, st *site) {
+		out, ok = st.data.Get(key)
+	})
+	if !ok {
+		return nil, store.ErrNotFound
+	}
+	return out, nil
+}
+
+func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
+	s.singlePartition(p, key, base.ReqHeader+base.RecordWire, base.AckWire, func(h *host, st *site) {
+		st.data.Put(key, f)
+	})
+	return nil
+}
+
+// Insert implements store.Store.
+func (s *Store) Insert(p *sim.Proc, key string, f store.Fields) error {
+	return s.write(p, key, f)
+}
+
+// Update implements store.Store.
+func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
+	return s.write(p, key, f)
+}
+
+// Scan implements store.Store: a multi-partition transaction that blocks
+// one site on every host while the fragment runs.
+func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+	arrival := s.hosts[p.Rand().Intn(len(s.hosts))]
+	var all []store.Record
+	base.Roundtrip(p, arrival.machine, base.ReqHeader, int64(count)*base.RecordWire, func() {
+		s.order(p, true)
+		for _, h := range s.hosts {
+			h := h
+			frag := func() {
+				for _, st := range h.sites {
+					st.exec.Acquire(p)
+					h.machine.Compute(p, s.opts.MPFanoutCPU/sim.Time(s.opts.SitesPerHost))
+					rows := st.data.Scan(start, count)
+					h.machine.Compute(p, sim.Time(len(rows))*s.opts.ScanRowCPU)
+					for _, e := range rows {
+						all = append(all, store.Record{Key: e.Key, Fields: e.Fields})
+					}
+					st.exec.Release()
+				}
+			}
+			if h == arrival {
+				frag()
+				continue
+			}
+			base.Forward(p, arrival.machine, h.machine, base.ReqHeader, int64(count)*base.RecordWire, frag)
+		}
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	if len(all) > count {
+		all = all[:count]
+	}
+	return all, nil
+}
+
+// Load implements store.Store.
+func (s *Store) Load(key string, f store.Fields) error {
+	_, st := s.route(key)
+	st.data.Put(key, f)
+	return nil
+}
+
+// DiskUsage implements store.Store: VoltDB keeps data in memory (excluded
+// from the paper's disk experiment).
+func (s *Store) DiskUsage() int64 { return 0 }
+
+var _ store.Store = (*Store)(nil)

@@ -1,0 +1,91 @@
+// Package wal models a write-ahead/commit log with group commit, as used by
+// Cassandra (CommitLog, periodic sync mode), HBase (HLog) and InnoDB (redo
+// log + binary log). Appends accumulate in an in-memory segment; a
+// background flusher writes the batch sequentially every sync window.
+// Callers choose whether an append must wait for durability (sync) or may
+// return as soon as the bytes are buffered (periodic mode, Cassandra's
+// default and the mode the paper's setups ran in).
+package wal
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Log is a simulated append-only commit log on one node.
+type Log struct {
+	node   *cluster.Node
+	window sim.Time
+
+	pendingBytes int64
+	waiters      []*sim.Proc
+	flusherUp    bool
+
+	totalBytes int64 // durable bytes ever written (disk usage accounting)
+	flushes    int64
+}
+
+// New creates a log on node with the given group-commit window.
+func New(node *cluster.Node, window sim.Time) *Log {
+	if window <= 0 {
+		window = 10 * sim.Millisecond
+	}
+	return &Log{node: node, window: window}
+}
+
+// Append buffers n bytes. If sync is true the call blocks until the group
+// commit that includes these bytes has reached disk; otherwise it returns
+// immediately (periodic durability).
+func (l *Log) Append(p *sim.Proc, n int64, sync bool) {
+	l.pendingBytes += n
+	l.ensureFlusher(p.Engine())
+	if sync {
+		l.waiters = append(l.waiters, p)
+		p.Park()
+	}
+}
+
+// ensureFlusher starts the background group-commit process if idle.
+func (l *Log) ensureFlusher(e *sim.Engine) {
+	if l.flusherUp {
+		return
+	}
+	l.flusherUp = true
+	e.Go("wal-flusher", func(p *sim.Proc) {
+		for l.pendingBytes > 0 {
+			p.Sleep(l.window)
+			batch := l.pendingBytes
+			waiters := l.waiters
+			l.pendingBytes = 0
+			l.waiters = nil
+			l.node.DiskWrite(p, batch, false) // sequential append
+			l.node.AddDiskUsage(batch)
+			l.totalBytes += batch
+			l.flushes++
+			for _, w := range waiters {
+				w.Wake()
+			}
+		}
+		l.flusherUp = false
+	})
+}
+
+// AppendDirect accounts n durable bytes without simulation timing; used by
+// bulk loaders.
+func (l *Log) AppendDirect(n int64) {
+	l.totalBytes += n
+	l.node.AddDiskUsage(n)
+}
+
+// DurableBytes returns all bytes ever flushed.
+func (l *Log) DurableBytes() int64 { return l.totalBytes }
+
+// Flushes returns the number of group commits performed.
+func (l *Log) Flushes() int64 { return l.flushes }
+
+// Truncate models log segment recycling after a memtable flush: the space
+// is reclaimed from the node's disk usage accounting (the data now lives in
+// an SSTable), but total write volume is unchanged.
+func (l *Log) Truncate(bytes int64) {
+	l.node.AddDiskUsage(-bytes)
+}

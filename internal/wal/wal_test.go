@@ -1,0 +1,128 @@
+package wal
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func newNode(e *sim.Engine) *cluster.Node {
+	return cluster.New(e, cluster.ClusterM(1)).Nodes[0]
+}
+
+func TestPeriodicAppendReturnsImmediately(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	l := New(n, 10*sim.Millisecond)
+	var appendDone sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		l.Append(p, 100, false)
+		appendDone = p.Now()
+	})
+	e.Run(0)
+	if appendDone != 0 {
+		t.Fatalf("periodic append blocked until %v, want 0", appendDone)
+	}
+	if l.DurableBytes() != 100 {
+		t.Fatalf("durable bytes = %d, want 100 after background flush", l.DurableBytes())
+	}
+}
+
+func TestSyncAppendWaitsForGroupCommit(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	l := New(n, 10*sim.Millisecond)
+	var done sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		l.Append(p, 100, true)
+		done = p.Now()
+	})
+	e.Run(0)
+	if done < 10*sim.Millisecond {
+		t.Fatalf("sync append returned at %v, want >= 10ms window", done)
+	}
+}
+
+func TestGroupCommitBatchesAppends(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	l := New(n, 10*sim.Millisecond)
+	for i := 0; i < 50; i++ {
+		e.Go("w", func(p *sim.Proc) { l.Append(p, 100, true) })
+	}
+	e.Run(0)
+	if l.Flushes() != 1 {
+		t.Fatalf("flushes = %d, want 1 (all appends in one group commit)", l.Flushes())
+	}
+	if l.DurableBytes() != 5000 {
+		t.Fatalf("durable = %d, want 5000", l.DurableBytes())
+	}
+}
+
+func TestSeparateWindowsSeparateFlushes(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	l := New(n, 10*sim.Millisecond)
+	e.Go("w1", func(p *sim.Proc) { l.Append(p, 100, true) })
+	e.GoAt(25*sim.Millisecond, "w2", func(p *sim.Proc) { l.Append(p, 100, true) })
+	e.Run(0)
+	if l.Flushes() != 2 {
+		t.Fatalf("flushes = %d, want 2", l.Flushes())
+	}
+}
+
+func TestTruncateReclaimsDiskUsage(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	l := New(n, 10*sim.Millisecond)
+	l.AppendDirect(1000)
+	if n.DiskUsed() != 1000 {
+		t.Fatalf("disk used = %d, want 1000", n.DiskUsed())
+	}
+	l.Truncate(600)
+	if n.DiskUsed() != 400 {
+		t.Fatalf("disk used after truncate = %d, want 400", n.DiskUsed())
+	}
+	if l.DurableBytes() != 1000 {
+		t.Fatal("truncate must not change total write volume")
+	}
+}
+
+func TestAppendDirectBypassesTiming(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	l := New(n, 10*sim.Millisecond)
+	l.AppendDirect(500)
+	if e.Now() != 0 {
+		t.Fatal("AppendDirect advanced virtual time")
+	}
+	if l.DurableBytes() != 500 {
+		t.Fatalf("durable = %d, want 500", l.DurableBytes())
+	}
+}
+
+func TestFlusherRestartsAfterIdle(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	l := New(n, 5*sim.Millisecond)
+	e.Go("w1", func(p *sim.Proc) { l.Append(p, 10, true) })
+	e.Run(0) // flusher exits when queue drains
+	e.GoAt(0, "w2", func(p *sim.Proc) { l.Append(p, 20, true) })
+	e.Run(0)
+	if l.DurableBytes() != 30 {
+		t.Fatalf("durable = %d, want 30 (flusher must restart)", l.DurableBytes())
+	}
+}
+
+func BenchmarkAppendPeriodic(b *testing.B) {
+	e := sim.NewEngine(1)
+	l := New(newNode(e), 10*sim.Millisecond)
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			l.Append(p, 75, false)
+		}
+	})
+	b.ResetTimer()
+	e.Run(0)
+}

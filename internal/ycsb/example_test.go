@@ -1,0 +1,22 @@
+package ycsb_test
+
+import (
+	"fmt"
+
+	"repro/internal/ycsb"
+)
+
+// The five workload mixes of the paper's Table 1.
+func ExampleWorkloadByName() {
+	for _, name := range []string{"R", "RW", "W", "RS", "RSW"} {
+		w, _ := ycsb.WorkloadByName(name)
+		fmt.Printf("%-4s reads=%.0f%% scans=%.0f%% inserts=%.0f%%\n",
+			w.Name, w.ReadProp*100, w.ScanProp*100, w.InsertProp*100)
+	}
+	// Output:
+	// R    reads=95% scans=0% inserts=5%
+	// RW   reads=50% scans=0% inserts=50%
+	// W    reads=1% scans=0% inserts=99%
+	// RS   reads=47% scans=47% inserts=6%
+	// RSW  reads=25% scans=25% inserts=50%
+}

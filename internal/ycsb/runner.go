@@ -1,0 +1,131 @@
+package ycsb
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// RunConfig describes one benchmark execution against a deployed store.
+type RunConfig struct {
+	Store    store.Store
+	Workload Workload
+	// Clients is the number of concurrent connections (closed loop). The
+	// paper used 128 per server node on Cluster M, 2 per core on Cluster D.
+	Clients int
+	// TargetOpsPerSec throttles the aggregate rate (YCSB's -target flag);
+	// zero runs at maximum throughput.
+	TargetOpsPerSec float64
+	// InitialRecords is how many records were loaded before the run.
+	InitialRecords int64
+	// Warmup and Measure bound the run: statistics are collected only
+	// inside the measurement window.
+	Warmup  sim.Time
+	Measure sim.Time
+	// TrackThroughput records a throughput-over-time series for the
+	// measurement window (steady-state diagnostics).
+	TrackThroughput bool
+}
+
+// Result carries the collector plus run metadata.
+type Result struct {
+	*stats.Collector
+	Config RunConfig
+	// Series is the throughput-over-time curve (nil unless
+	// Config.TrackThroughput was set).
+	Series *stats.ThroughputSeries
+}
+
+// Load populates the store with n records (record numbers 0..n-1) without
+// consuming virtual time, mirroring the paper's separate load phase.
+func Load(s store.Store, n int64) error {
+	for i := int64(0); i < n; i++ {
+		if err := s.Load(store.Key(i), store.MakeFields(i)); err != nil {
+			return fmt.Errorf("ycsb: load record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Run executes the workload and returns collected statistics. It drives the
+// engine itself (warmup + measure, then lets in-flight operations drain).
+func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("ycsb: need at least one client")
+	}
+	if cfg.Measure <= 0 {
+		return nil, fmt.Errorf("ycsb: measurement window must be positive")
+	}
+	col := stats.NewCollector()
+	var series *stats.ThroughputSeries
+	if cfg.TrackThroughput {
+		series = stats.NewThroughputSeries(e.Now()+cfg.Warmup, cfg.Measure/20)
+	}
+	stopAt := e.Now() + cfg.Warmup + cfg.Measure
+	inserted := cfg.InitialRecords
+	chooser := newChooser(cfg.Workload.Chooser)
+
+	// Per-client pacing interval for throttled runs.
+	var interval sim.Time
+	if cfg.TargetOpsPerSec > 0 {
+		perClient := cfg.TargetOpsPerSec / float64(cfg.Clients)
+		interval = sim.Time(float64(sim.Second) / perClient)
+	}
+
+	e.Schedule(cfg.Warmup, func() { col.Begin(e.Now()) })
+	e.Schedule(cfg.Warmup+cfg.Measure, func() { col.Finish(e.Now()) })
+
+	for i := 0; i < cfg.Clients; i++ {
+		e.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+			rng := p.Rand()
+			// Desynchronize client start within one pacing interval.
+			if interval > 0 {
+				p.Sleep(sim.Time(rng.Int63n(int64(interval) + 1)))
+			}
+			for p.Now() < stopAt {
+				opStart := p.Now()
+				kind := cfg.Workload.pick(rng.Float64())
+				var err error
+				switch kind {
+				case stats.OpRead:
+					key := store.Key(chooser.Choose(inserted, rng.Float64(), rng.Float64()))
+					_, err = cfg.Store.Read(p, key)
+				case stats.OpScan:
+					key := store.Key(chooser.Choose(inserted, rng.Float64(), rng.Float64()))
+					_, err = cfg.Store.Scan(p, key, cfg.Workload.ScanLength)
+				case stats.OpInsert:
+					id := inserted
+					inserted++
+					err = cfg.Store.Insert(p, store.Key(id), store.MakeFields(id))
+				case stats.OpUpdate:
+					id := chooser.Choose(inserted, rng.Float64(), rng.Float64())
+					err = cfg.Store.Update(p, store.Key(id), store.MakeFields(id))
+				}
+				if err != nil {
+					col.RecordError()
+				} else {
+					col.Record(kind, p.Now()-opStart)
+					if series != nil && col.Active() {
+						series.Record(p.Now())
+					}
+				}
+				if interval > 0 {
+					next := opStart + interval
+					if next > p.Now() {
+						p.Sleep(next - p.Now())
+					}
+				}
+			}
+		})
+	}
+	e.Run(0)
+	if col.Window() == 0 {
+		col.Finish(e.Now())
+	}
+	return &Result{Collector: col, Config: cfg, Series: series}, nil
+}
