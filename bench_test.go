@@ -10,11 +10,14 @@
 package main
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/harness"
+	"repro/internal/lsm"
 	"repro/internal/sim"
+	"repro/internal/sstable"
 	"repro/internal/store"
 )
 
@@ -176,6 +179,75 @@ func BenchmarkSingleOps(b *testing.B) {
 			dep.Engine.Run(0)
 		})
 	}
+}
+
+// BenchmarkEngineSchedule measures the scheduler hot path: scheduling and
+// draining one reused timer event. This is the per-event floor every
+// simulated operation pays many times over.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(sim.Microsecond, fn)
+		e.Run(0)
+	}
+}
+
+// benchTree builds a memory-bound LSM tree with 50k records spread over
+// several SSTable generations, plus the precomputed key set.
+func benchTree(e *sim.Engine) (*lsm.Tree, []string) {
+	n := cluster.New(e, cluster.ClusterM(1)).Nodes[0]
+	tr := lsm.New(lsm.Config{
+		Node:       n,
+		Seed:       1,
+		FlushBytes: 1 << 17,
+		Overhead:   sstable.Overhead{PerEntry: 10, PerCell: 20},
+		CacheBytes: 1 << 30, // fully cached: isolate CPU cost from simulated I/O
+	})
+	keys := make([]string, 50000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%09d", i)
+		tr.LoadDirect(keys[i], [][]byte{[]byte("0123456789")})
+	}
+	return tr, keys
+}
+
+// BenchmarkLSMGet measures the point-read path across memtable and tables.
+func BenchmarkLSMGet(b *testing.B) {
+	e := sim.NewEngine(1)
+	tr, keys := benchTree(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := tr.Get(p, keys[i%len(keys)]); !ok {
+				// Errorf, not Fatal: Fatal must not run off the bench
+				// goroutine and would deadlock the engine.
+				b.Errorf("missing key %s", keys[i%len(keys)])
+				return
+			}
+		}
+	})
+	e.Run(0)
+}
+
+// BenchmarkLSMScan measures the 50-row merged range-scan path.
+func BenchmarkLSMScan(b *testing.B) {
+	e := sim.NewEngine(1)
+	tr, keys := benchTree(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if got := tr.Scan(p, keys[i%len(keys)], 50); len(got) == 0 {
+				b.Errorf("empty scan from %s", keys[i%len(keys)])
+				return
+			}
+		}
+	})
+	e.Run(0)
 }
 
 func BenchmarkAblationCassandraReplication(b *testing.B) {

@@ -9,8 +9,6 @@
 package lsm
 
 import (
-	"sort"
-
 	"repro/internal/cluster"
 	"repro/internal/memtable"
 	"repro/internal/sim"
@@ -76,9 +74,14 @@ func (c *Config) defaults() {
 
 // Tree is one node's LSM engine.
 type Tree struct {
-	cfg    Config
-	mem    *memtable.Memtable
-	tables []*sstable.Table // all generations, any order
+	cfg Config
+	mem *memtable.Memtable
+	// tables is an immutable, copy-on-write snapshot sorted by generation
+	// descending (newest first). Flush and compaction publish a fresh slice
+	// instead of mutating in place, so readers that park on simulated disk
+	// I/O mid-read keep a consistent view by holding the slice header — no
+	// per-read defensive copy needed.
+	tables []*sstable.Table
 	log    *wal.Log
 	gen    int
 
@@ -148,77 +151,145 @@ func (t *Tree) chargeTableRead(p *sim.Proc) {
 	}
 }
 
-// Get reads key, probing memtable then tables newest-first. The table list
-// is snapshotted up front: disk charges park the process, and a concurrent
-// compaction may swap t.tables meanwhile; tables themselves are immutable,
-// so reading the snapshot stays correct.
+// Get reads key, probing memtable then tables newest-first. t.tables is an
+// immutable copy-on-write snapshot sorted newest-generation-first, so
+// holding the slice header across disk parks is safe (a concurrent
+// compaction publishes a new slice, never mutates this one), and the first
+// confirmed hit cannot be shadowed by any table probed later — older
+// generations are skipped entirely instead of probed and discarded.
 func (t *Tree) Get(p *sim.Proc, key string) ([][]byte, bool) {
 	if v, ok := t.mem.Get(key); ok {
 		t.memHits++
 		return v, true
 	}
-	snapshot := append([]*sstable.Table(nil), t.tables...)
-	var best *sstable.Table
-	for _, tab := range snapshot {
-		if best != nil && tab.Gen < best.Gen {
-			continue
-		}
+	for _, tab := range t.tables {
 		if !tab.MayContain(key) {
 			t.bloomSkips++
 			continue
 		}
 		t.probes++
 		t.chargeTableRead(p)
-		if _, ok := tab.Get(key); ok {
-			if best == nil || tab.Gen > best.Gen {
-				best = tab
-			}
+		if v, ok := tab.Get(key); ok {
+			return v, true
 		}
-	}
-	if best != nil {
-		v, _ := best.Get(key)
-		return v, true
 	}
 	return nil, false
 }
 
-// Scan returns up to count entries with keys >= start, merged across the
-// memtable and all tables (newest generation wins per key).
-func (t *Tree) Scan(p *sim.Proc, start string, count int) []memtable.Entry {
-	type cand struct {
-		fields [][]byte
-		gen    int
+// memtableGen orders the memtable above every SSTable generation when
+// merging scan sources.
+const memtableGen = 1 << 30
+
+// scanSource is one cursor feeding the k-way merge in Scan: the memtable's
+// skip-list iterator or an SSTable iterator.
+type scanSource struct {
+	gen   int
+	mem   memtable.Iterator // skip-list cursor; only valid when isMem
+	tab   sstable.Iterator  // table cursor; only valid when !isMem
+	isMem bool
+}
+
+func (s *scanSource) key() string {
+	if s.isMem {
+		return s.mem.Entry().Key
 	}
-	merged := map[string]cand{}
-	consider := func(key string, fields [][]byte, gen int) {
-		if c, ok := merged[key]; !ok || gen > c.gen {
-			merged[key] = cand{fields, gen}
+	return s.tab.Entry().Key
+}
+
+func (s *scanSource) entry() memtable.Entry {
+	if s.isMem {
+		return s.mem.Entry()
+	}
+	return s.tab.Entry()
+}
+
+// advance moves to the next entry and reports whether one exists.
+func (s *scanSource) advance() bool {
+	if s.isMem {
+		s.mem.Next()
+		return s.mem.Valid()
+	}
+	s.tab.Next()
+	return s.tab.Valid()
+}
+
+// mergeHeap is a binary min-heap of scan sources ordered by (current key,
+// generation descending): the top is always the next output entry and,
+// among duplicate keys, the newest version surfaces first.
+type mergeHeap []scanSource
+
+func (h mergeHeap) before(a, b int) bool {
+	ka, kb := h[a].key(), h[b].key()
+	if ka != kb {
+		return ka < kb
+	}
+	return h[a].gen > h[b].gen
+}
+
+func (h mergeHeap) down(i int) {
+	for {
+		min := i
+		if l := 2*i + 1; l < len(h) && h.before(l, min) {
+			min = l
 		}
+		if r := 2*i + 2; r < len(h) && h.before(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
 	}
-	for _, e := range t.mem.Scan(start, count) {
-		consider(e.Key, e.Fields, 1<<30)
-	}
-	// Snapshot the table list: disk charges park the process and compaction
-	// may swap t.tables underneath (tables themselves are immutable).
-	snapshot := append([]*sstable.Table(nil), t.tables...)
-	for _, tab := range snapshot {
+}
+
+// Scan returns up to count entries with keys >= start, merged across the
+// memtable and all tables (newest generation wins per key) with a streaming
+// k-way heap merge: no intermediate map, no re-sort, and each table yields
+// only the entries the merge actually consumes.
+func (t *Tree) Scan(p *sim.Proc, start string, count int) []memtable.Entry {
+	// Snapshot both layers before parking on disk charges: t.tables is COW
+	// (the slice header is a consistent view) and t.mem must be captured
+	// with it — a flush during a park swaps t.mem and installs the flushed
+	// table into a slice this snapshot doesn't include, so reading the
+	// post-park memtable would silently drop those entries. Once swapped
+	// out the captured memtable is frozen; until then writes landing during
+	// the parks remain visible, so like the modeled systems a scan is not
+	// snapshot-isolated against concurrent writers — it sees the state as
+	// of its last positioning I/O.
+	tabs := t.tables
+	mem := t.mem
+	for range tabs {
 		// One positioning I/O per table touched plus sequential transfer.
 		t.chargeTableRead(p)
-		for _, e := range tab.Scan(start, count) {
-			consider(e.Key, e.Fields, tab.Gen)
+	}
+	// The merge below never parks and simulated processes run one at a
+	// time, so the sources cannot change mid-merge.
+	h := make(mergeHeap, 0, len(tabs)+1)
+	if it := mem.SeekIter(start); it.Valid() {
+		h = append(h, scanSource{gen: memtableGen, mem: it, isMem: true})
+	}
+	for _, tab := range tabs {
+		if it := tab.SeekIter(start); it.Valid() {
+			h = append(h, scanSource{gen: tab.Gen, tab: it})
 		}
 	}
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
 	}
-	sort.Strings(keys)
-	if len(keys) > count {
-		keys = keys[:count]
-	}
-	out := make([]memtable.Entry, len(keys))
-	for i, k := range keys {
-		out[i] = memtable.Entry{Key: k, Fields: merged[k].fields}
+	out := make([]memtable.Entry, 0, count)
+	for len(h) > 0 && len(out) < count {
+		e := h[0].entry()
+		if n := len(out); n == 0 || out[n-1].Key != e.Key {
+			out = append(out, e) // first occurrence = newest generation
+		}
+		if h[0].advance() {
+			h.down(0)
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			h.down(0)
+		}
 	}
 	return out
 }
@@ -261,8 +332,14 @@ func (t *Tree) flushNow(_ *sim.Proc) {
 	t.maybeCompactDirect()
 }
 
+// installTable publishes a freshly flushed table. Flushes are serialized and
+// bump t.gen, so tab is always the newest generation: prepend it to a new
+// slice (copy-on-write — readers may hold the old one across disk parks).
 func (t *Tree) installTable(tab *sstable.Table, walPayload int64) {
-	t.tables = append(t.tables, tab)
+	tables := make([]*sstable.Table, 0, len(t.tables)+1)
+	tables = append(tables, tab)
+	tables = append(tables, t.tables...)
+	t.tables = tables
 	t.tableBytes += tab.DiskBytes
 	t.cfg.Node.AddDiskUsage(tab.DiskBytes)
 	t.log.Truncate(walPayload)
@@ -278,20 +355,31 @@ func tier(bytes int64) int {
 	return t
 }
 
-// pickCompaction returns the indices of tables in the fullest tier if it has
-// at least CompactMin members.
+// pickCompaction returns the indices of tables in the fullest tier with at
+// least CompactMin members (lowest tier number on ties). The choice must
+// not depend on map iteration order: same-seed runs have to pick the same
+// victims or table layouts — and with them every downstream RNG draw —
+// diverge between runs.
 func (t *Tree) pickCompaction() []int {
 	byTier := map[int][]int{}
 	for i, tab := range t.tables {
 		tr := tier(tab.DiskBytes)
 		byTier[tr] = append(byTier[tr], i)
 	}
-	for _, idxs := range byTier {
-		if len(idxs) >= t.cfg.CompactMin {
-			return idxs
+	best := -1
+	for tr, idxs := range byTier {
+		if len(idxs) < t.cfg.CompactMin {
+			continue
+		}
+		if best < 0 || len(idxs) > len(byTier[best]) ||
+			(len(idxs) == len(byTier[best]) && tr < best) {
+			best = tr
 		}
 	}
-	return nil
+	if best < 0 {
+		return nil
+	}
+	return byTier[best]
 }
 
 // maybeCompact runs one size-tiered compaction in the background.
@@ -338,7 +426,10 @@ func (t *Tree) maybeCompactDirect() {
 	}
 }
 
-// replaceTables swaps victims for merged, updating accounting.
+// replaceTables swaps victims for merged, updating accounting. The new list
+// is built copy-on-write (readers may hold the old slice across disk parks)
+// and keeps the newest-generation-first order, inserting merged at its
+// sorted position.
 func (t *Tree) replaceTables(victims []*sstable.Table, merged *sstable.Table) {
 	dead := map[*sstable.Table]bool{}
 	var deadBytes int64
@@ -346,13 +437,22 @@ func (t *Tree) replaceTables(victims []*sstable.Table, merged *sstable.Table) {
 		dead[v] = true
 		deadBytes += v.DiskBytes
 	}
-	kept := t.tables[:0]
+	kept := make([]*sstable.Table, 0, len(t.tables)-len(victims)+1)
+	inserted := false
 	for _, tab := range t.tables {
-		if !dead[tab] {
-			kept = append(kept, tab)
+		if dead[tab] {
+			continue
 		}
+		if !inserted && merged.Gen > tab.Gen {
+			kept = append(kept, merged)
+			inserted = true
+		}
+		kept = append(kept, tab)
 	}
-	t.tables = append(kept, merged)
+	if !inserted {
+		kept = append(kept, merged)
+	}
+	t.tables = kept
 	t.tableBytes += merged.DiskBytes - deadBytes
 	t.cfg.Node.AddDiskUsage(merged.DiskBytes - deadBytes)
 }

@@ -273,6 +273,44 @@ func TestPropertyLastWriteWins(t *testing.T) {
 	}
 }
 
+// Get must stop at the first confirmed hit: tables are kept newest-first,
+// so a hit in a newer generation can never be shadowed and older tables
+// must not be probed (the seed probed every table and paid simulated disk
+// I/O for probes that could never win).
+func TestGetStopsAtNewestHit(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := cluster.New(e, cluster.ClusterM(1)).Nodes[0]
+	tr := New(Config{
+		Node:       n,
+		Seed:       1,
+		FlushBytes: 1, // every load flushes: one table per write
+		CompactMin: 100,
+		Overhead:   sstable.Overhead{PerEntry: 10, PerCell: 20},
+		CacheBytes: 1 << 30,
+	})
+	tr.LoadDirect("hot", fields("old"))
+	tr.LoadDirect("hot", fields("new"))
+	if tr.TableCount() != 2 {
+		t.Fatalf("TableCount = %d, want 2 (one per flushed write)", tr.TableCount())
+	}
+	e.Go("r", func(p *sim.Proc) {
+		// Errorf, not Fatalf: Fatalf must not run off the test goroutine
+		// and would deadlock the engine.
+		v, ok := tr.Get(p, "hot")
+		if !ok || string(v[0]) != "new" {
+			t.Errorf("Get(hot) = %q, %v, want new", v, ok)
+		}
+	})
+	e.Run(0)
+	probes, bloomSkips, _, _ := tr.Stats()
+	if probes != 1 {
+		t.Fatalf("probes = %d, want 1 (early exit on newest-generation hit)", probes)
+	}
+	if bloomSkips != 0 {
+		t.Fatalf("bloomSkips = %d, want 0 (both tables contain the key)", bloomSkips)
+	}
+}
+
 func BenchmarkPutThroughMemtable(b *testing.B) {
 	e := sim.NewEngine(1)
 	tr := newTree(e, 1<<30) // never flush: isolate memtable path

@@ -136,3 +136,26 @@ func (m *Memtable) Iter(fn func(Entry) bool) {
 		}
 	}
 }
+
+// Iterator is a forward cursor over the skip list's bottom level. It is a
+// small value type so callers can hold and advance one without allocating;
+// the LSM scan path merges these against SSTable iterators.
+type Iterator struct {
+	x *node
+}
+
+// SeekIter returns an iterator positioned at the first entry with key >=
+// start. Mutating the memtable invalidates outstanding iterators.
+func (m *Memtable) SeekIter(start string) Iterator {
+	return Iterator{x: m.findGreaterOrEqual(start, nil)}
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it Iterator) Valid() bool { return it.x != nil }
+
+// Entry returns the current entry. It must not be called on an invalid
+// iterator.
+func (it Iterator) Entry() Entry { return it.x.entry }
+
+// Next advances to the following entry in key order.
+func (it *Iterator) Next() { it.x = it.x.next[0] }

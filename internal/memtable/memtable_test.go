@@ -197,3 +197,32 @@ func BenchmarkGet(b *testing.B) {
 		m.Get(fmt.Sprintf("key%09d", i%100000))
 	}
 }
+
+func TestSeekIterMatchesScan(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 200; i += 2 {
+		m.Put(fmt.Sprintf("k%03d", i), f1(fmt.Sprintf("v%d", i)))
+	}
+	for _, start := range []string{"", "k050", "k051", "k198", "k199", "z"} {
+		want := m.Scan(start, 1<<30)
+		var got []Entry
+		for it := m.SeekIter(start); it.Valid(); it.Next() {
+			got = append(got, it.Entry())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("SeekIter(%q) yielded %d entries, Scan %d", start, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key || string(got[i].Fields[0]) != string(want[i].Fields[0]) {
+				t.Fatalf("SeekIter(%q)[%d] = %v, want %v", start, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSeekIterEmptyTable(t *testing.T) {
+	m := New(1)
+	if it := m.SeekIter(""); it.Valid() {
+		t.Fatal("iterator over empty memtable is valid")
+	}
+}

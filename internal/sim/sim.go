@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -53,23 +52,66 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a 4-ary min-heap of events ordered by (at, seq). Events are
+// stored by value and moved with plain assignments, so Push/Pop never box
+// through interface{} the way container/heap does; on the hot path a
+// scheduled event costs zero heap allocations. The 4-ary layout halves the
+// tree depth versus a binary heap, which favours the push-heavy access
+// pattern of a discrete-event loop.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.before(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the fn reference so the closure can be collected
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.before(c, min) {
+				min = c
+			}
+		}
+		if !s.before(min, i) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a discrete-event scheduler with a virtual clock.
@@ -109,7 +151,7 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 		delay = 0
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.events.push(event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // Stop makes Run return after the current event completes.
@@ -121,13 +163,12 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
-		if until > 0 && ev.at > until {
-			// Push back so a later Run can resume exactly here.
-			heap.Push(&e.events, ev)
+		if until > 0 && e.events[0].at > until {
+			// Leave the event queued so a later Run can resume exactly here.
 			e.now = until
 			return e.now
 		}
+		ev := e.events.pop()
 		e.now = ev.at
 		ev.fn()
 	}
@@ -150,28 +191,25 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	dead   bool
+	// wakeFn is the event callback that resumes this process. It is built
+	// once at process creation and rescheduled for every Sleep/Wake, so the
+	// scheduler's hottest operation (context switch) allocates nothing.
+	wakeFn func()
 }
 
 // Go starts fn as a new process at the current virtual time. The process
 // begins executing when the engine reaches the start event.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
-	e.procs++
-	e.Schedule(0, func() {
-		go func() {
-			fn(p)
-			p.dead = true
-			e.procs--
-			e.yield <- struct{}{}
-		}()
-		<-e.yield
-	})
-	return p
+	return e.GoAt(0, name, fn)
 }
 
 // GoAt starts fn as a new process after delay.
 func (e *Engine) GoAt(delay Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p.wakeFn = func() {
+		p.resume <- struct{}{}
+		<-e.yield
+	}
 	e.procs++
 	e.Schedule(delay, func() {
 		go func() {
@@ -203,12 +241,10 @@ func (p *Proc) park() {
 	<-p.resume
 }
 
-// wake schedules p to resume at now+delay.
+// wake schedules p to resume at now+delay, reusing the process's
+// pre-allocated wake callback.
 func (e *Engine) wake(p *Proc, delay Time) {
-	e.Schedule(delay, func() {
-		p.resume <- struct{}{}
-		<-e.yield
-	})
+	e.Schedule(delay, p.wakeFn)
 }
 
 // Sleep advances the process by d of virtual time.

@@ -310,6 +310,27 @@ func TestPropertyResourceMakespan(t *testing.T) {
 	}
 }
 
+// Events scheduled from inside a running event at the current timestamp
+// must run after already-queued same-time events, in scheduling order —
+// the seq tie-break must survive heap restructuring.
+func TestNestedSameTimeSchedulingFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(Millisecond, func() {
+		order = append(order, 0)
+		e.Schedule(0, func() { order = append(order, 3) })
+		e.Schedule(0, func() { order = append(order, 4) })
+	})
+	e.Schedule(Millisecond, func() { order = append(order, 1) })
+	e.Schedule(Millisecond, func() { order = append(order, 2) })
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want [0 1 2 3 4]", order)
+		}
+	}
+}
+
 func BenchmarkProcSleepSwitch(b *testing.B) {
 	e := NewEngine(1)
 	e.Go("w", func(p *Proc) {

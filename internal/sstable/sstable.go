@@ -45,17 +45,23 @@ func Build(gen int, entries []memtable.Entry, ov Overhead, fpp float64) *Table {
 		}
 		dedup = append(dedup, sorted[i])
 	}
-	t := &Table{Gen: gen, entries: dedup, filter: bloom.New(len(dedup), fpp)}
-	for _, e := range dedup {
+	return buildFromSorted(gen, dedup, ov, fpp)
+}
+
+// buildFromSorted creates a table from entries already sorted by key with no
+// duplicates, skipping the sort+dedup pass that Build pays.
+func buildFromSorted(gen int, entries []memtable.Entry, ov Overhead, fpp float64) *Table {
+	t := &Table{Gen: gen, entries: entries, filter: bloom.New(len(entries), fpp)}
+	for _, e := range entries {
 		t.filter.Add(e.Key)
 		t.DiskBytes += int64(len(e.Key)) + ov.PerEntry
 		for _, f := range e.Fields {
 			t.DiskBytes += int64(len(f)) + ov.PerCell
 		}
 	}
-	if len(dedup) > 0 {
-		t.minKey = dedup[0].Key
-		t.maxKey = dedup[len(dedup)-1].Key
+	if len(entries) > 0 {
+		t.minKey = entries[0].Key
+		t.maxKey = entries[len(entries)-1].Key
 	}
 	return t
 }
@@ -98,32 +104,77 @@ func (t *Table) Scan(start string, count int) []memtable.Entry {
 // FilterBytes returns the Bloom filter's memory footprint.
 func (t *Table) FilterBytes() int64 { return t.filter.SizeBytes() }
 
+// Iterator is a forward cursor over a table's entries. Tables are immutable,
+// so iterators stay valid for the table's lifetime.
+type Iterator struct {
+	entries []memtable.Entry
+	i       int
+}
+
+// SeekIter returns an iterator positioned at the first entry with key >=
+// start.
+func (t *Table) SeekIter(start string) Iterator {
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Key >= start })
+	return Iterator{entries: t.entries, i: i}
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it Iterator) Valid() bool { return it.i < len(it.entries) }
+
+// Entry returns the current entry. It must not be called on an invalid
+// iterator.
+func (it Iterator) Entry() memtable.Entry { return it.entries[it.i] }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() { it.i++ }
+
 // Merge combines tables into one run; for duplicate keys the entry from the
 // table with the highest generation wins. The result's generation is the
-// maximum input generation.
+// maximum input generation. Inputs are already sorted, so this is a
+// streaming k-way merge: O(n·k) comparisons with one pass and no
+// intermediate map or re-sort.
 func Merge(tables []*Table, ov Overhead, fpp float64) *Table {
-	byGen := make([]*Table, len(tables))
-	copy(byGen, tables)
-	sort.Slice(byGen, func(i, j int) bool { return byGen[i].Gen < byGen[j].Gen })
 	total := 0
 	maxGen := 0
-	for _, t := range byGen {
+	iters := make([]Iterator, len(tables))
+	for i, t := range tables {
 		total += t.Len()
 		if t.Gen > maxGen {
 			maxGen = t.Gen
 		}
+		iters[i] = t.SeekIter("")
 	}
-	// Apply oldest-to-newest into a map, then rebuild sorted. O(n log n),
-	// fine at simulation scale and obviously correct.
-	merged := make(map[string][][]byte, total)
-	for _, t := range byGen {
-		for _, e := range t.entries {
-			merged[e.Key] = e.Fields
+	entries := make([]memtable.Entry, 0, total)
+	for {
+		// Pick the smallest current key; among duplicates the entry from
+		// the highest-generation table wins and the others are skipped.
+		// Linear scan over k sources: compaction fan-in is small (a tier),
+		// so this beats maintaining a heap.
+		best := -1
+		for i := range iters {
+			if !iters[i].Valid() {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			bk, ik := iters[best].Entry().Key, iters[i].Entry().Key
+			if ik < bk || (ik == bk && tables[i].Gen > tables[best].Gen) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := iters[best].Entry()
+		entries = append(entries, e)
+		// Consume this key from every source.
+		for i := range iters {
+			for iters[i].Valid() && iters[i].Entry().Key == e.Key {
+				iters[i].Next()
+			}
 		}
 	}
-	entries := make([]memtable.Entry, 0, len(merged))
-	for k, f := range merged {
-		entries = append(entries, memtable.Entry{Key: k, Fields: f})
-	}
-	return Build(maxGen, entries, ov, fpp)
+	return buildFromSorted(maxGen, entries, ov, fpp)
 }

@@ -166,3 +166,21 @@ func BenchmarkGet(b *testing.B) {
 		tb.Get(fmt.Sprintf("key%09d", i%100000))
 	}
 }
+
+func TestSeekIterWalksFromStart(t *testing.T) {
+	var es []memtable.Entry
+	for i := 0; i < 20; i++ {
+		es = append(es, entry(fmt.Sprintf("k%02d", i), "v"))
+	}
+	tb := Build(1, es, ov, 0.01)
+	var keys []string
+	for it := tb.SeekIter("k05"); it.Valid(); it.Next() {
+		keys = append(keys, it.Entry().Key)
+	}
+	if len(keys) != 15 || keys[0] != "k05" || keys[14] != "k19" {
+		t.Fatalf("SeekIter walked %v", keys)
+	}
+	if it := tb.SeekIter("k95"); it.Valid() {
+		t.Fatal("iterator past maxKey is valid")
+	}
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKeyFixedWidthAndDeterministic(t *testing.T) {
+	seen := map[string]int64{}
+	for i := int64(0); i < 10000; i++ {
+		k := Key(i)
+		if len(k) != KeyBytes {
+			t.Fatalf("Key(%d) = %q: %d bytes, want %d", i, k, len(k), KeyBytes)
+		}
+		if !strings.HasPrefix(k, "user") {
+			t.Fatalf("Key(%d) = %q, want user-prefixed", i, k)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("Key(%d) == Key(%d) == %q (permute must be bijective)", i, prev, k)
+		}
+		seen[k] = i
+		if Key(i) != k {
+			t.Fatalf("Key(%d) not deterministic", i)
+		}
+	}
+}
+
+func TestKeyHashingSpreadsSequentialInserts(t *testing.T) {
+	// Sequential record numbers must not produce lexicographically adjacent
+	// keys, or ordered stores would hotspot on a single range during load.
+	ascending := 0
+	prev := Key(0)
+	for i := int64(1); i < 1000; i++ {
+		k := Key(i)
+		if k > prev {
+			ascending++
+		}
+		prev = k
+	}
+	// A hashed sequence should rise about half the time, never nearly always.
+	if ascending > 700 {
+		t.Fatalf("%d/999 sequential keys ascending; insert order leaks into key order", ascending)
+	}
+}
+
+func TestMakeFieldsShapeAndDeterminism(t *testing.T) {
+	for _, i := range []int64{0, 1, 12345, 999_999_999, 1_000_000_007} {
+		f := MakeFields(i)
+		if len(f) != NumFields {
+			t.Fatalf("MakeFields(%d) has %d fields, want %d", i, len(f), NumFields)
+		}
+		for j, col := range f {
+			if len(col) != FieldBytes {
+				t.Fatalf("MakeFields(%d)[%d] = %q: %d bytes, want %d", i, j, col, len(col), FieldBytes)
+			}
+		}
+		again := MakeFields(i)
+		for j := range f {
+			if string(f[j]) != string(again[j]) {
+				t.Fatalf("MakeFields(%d) not deterministic at field %d", i, j)
+			}
+		}
+	}
+	// Distinct columns of one record must differ (the trailing digit).
+	f := MakeFields(7)
+	if string(f[0]) == string(f[1]) {
+		t.Fatalf("fields 0 and 1 identical: %q", f[0])
+	}
+}
+
+func TestRawRecordBytesAccounting(t *testing.T) {
+	// The paper's 75-byte record: 25-byte key + 5 x 10-byte fields.
+	if RawRecordBytes != 75 {
+		t.Fatalf("RawRecordBytes = %d, want 75 (paper §3)", RawRecordBytes)
+	}
+	total := len(Key(42))
+	for _, col := range MakeFields(42) {
+		total += len(col)
+	}
+	if total != RawRecordBytes {
+		t.Fatalf("key+fields = %d bytes, want RawRecordBytes = %d", total, RawRecordBytes)
+	}
+}

@@ -112,6 +112,9 @@ func TestMySQLBinlogDoublesDiskUsage(t *testing.T) {
 }
 
 func TestMySQLScanCheapOnOneNodeCostlyOnMany(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads 180k records; covered by the full run")
+	}
 	mk := func(nodes int) (*sim.Engine, *mysql.Store) {
 		e := sim.NewEngine(1)
 		c := cluster.New(e, cluster.ClusterM(nodes).Scale(0.01))
@@ -182,6 +185,9 @@ func TestVoltDBAsyncCheaperOrdering(t *testing.T) {
 }
 
 func TestRedisImbalanceAndOOM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads 180k records; covered by the full run")
+	}
 	e := sim.NewEngine(1)
 	// Tiny RAM so the hot shard overflows quickly at 12 nodes.
 	spec := cluster.ClusterM(12).Scale(0.0015)
