@@ -257,3 +257,27 @@ func BenchmarkAblationCassandraReplication(b *testing.B) {
 func BenchmarkAblationCassandraCompression(b *testing.B) {
 	runFigureBench(b, benchRunner.AblationCassandraCompression, "tput_off_ops/s")
 }
+
+// benchRunAllFig3 measures end-to-end cell execution for Fig 3's plan (18
+// cells at quick fidelity) on a fresh, cold runner per iteration, at the
+// given worker-pool width. Serial-vs-parallel pairs quantify the cell-level
+// parallelism the plan/execute runner buys on multi-core.
+func benchRunAllFig3(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(harness.Config{
+			Scale:          0.001,
+			Warmup:         200 * sim.Millisecond,
+			Measure:        600 * sim.Millisecond,
+			NodeCounts:     []int{1, 2, 4},
+			RecordsPerNode: 10_000_000,
+		})
+		r.Workers = workers
+		if err := r.RunAll(r.CellsFor("3")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllFig3Serial(b *testing.B)   { benchRunAllFig3(b, 1) }
+func BenchmarkRunAllFig3Parallel(b *testing.B) { benchRunAllFig3(b, 0) } // 0 = GOMAXPROCS

@@ -9,9 +9,16 @@
 //	apmbench -figure table1         # the workload table
 //	apmbench -figure ablation-all   # design-choice ablations
 //	apmbench -scale 0.02 -measure 4 # higher fidelity
+//	apmbench -parallel 1            # serial cell execution
 //
 // The -scale flag multiplies record counts and node RAM/disk together, so
 // memory-vs-disk behaviour matches the paper at any scale; see DESIGN.md.
+//
+// Cells execute on a worker pool (-parallel, default GOMAXPROCS). Each
+// cell's seed derives from the seed plus the cell's identity, so output is
+// bit-identical at any parallelism and any figure order; each in-flight
+// cell holds a full simulated cluster, so lower -parallel if memory is
+// tight at large -scale.
 package main
 
 import (
@@ -27,17 +34,18 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure id (3..20), 'table1', 'all', or an ablation name (see -list)")
-		scale   = flag.Float64("scale", 0.01, "record-count and hardware scale factor")
-		measure = flag.Float64("measure", 2.0, "measurement window, virtual seconds")
-		warmup  = flag.Float64("warmup", 0.5, "warmup, virtual seconds")
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		nodes   = flag.String("nodes", "1,2,4,8,12", "comma-separated node counts")
-		list    = flag.Bool("list", false, "list available figures and exit")
-		quiet   = flag.Bool("quiet", false, "suppress per-cell progress output")
-		format  = flag.String("format", "table", "output format: table or csv")
-		explain = flag.String("explain", "", "diagnose one cell: system:nodes:workload[:D], e.g. cassandra:4:R or hbase:8:W:D")
-		reps    = flag.Int("reps", 1, "independent executions to average per cell")
+		figure   = flag.String("figure", "all", "figure id (3..20), 'table1', 'all', or an ablation name (see -list)")
+		scale    = flag.Float64("scale", 0.01, "record-count and hardware scale factor")
+		measure  = flag.Float64("measure", 2.0, "measurement window, virtual seconds")
+		warmup   = flag.Float64("warmup", 0.5, "warmup, virtual seconds")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		nodes    = flag.String("nodes", "1,2,4,8,12", "comma-separated node counts")
+		list     = flag.Bool("list", false, "list available figures and exit")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress output")
+		format   = flag.String("format", "table", "output format: table or csv")
+		explain  = flag.String("explain", "", "diagnose one cell: system:nodes:workload[:D], e.g. cassandra:4:R or hbase:8:W:D")
+		reps     = flag.Int("reps", 1, "independent executions to average per cell")
+		parallel = flag.Int("parallel", 0, "concurrent cell executions (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -51,6 +59,7 @@ func main() {
 	}
 	outputFormat = *format
 	r := harness.NewRunner(cfg)
+	r.Workers = *parallel
 	if !*quiet {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -72,6 +81,14 @@ func main() {
 	case "all":
 		fmt.Print(harness.Table1())
 		fmt.Println()
+		// Plan every figure's cells and execute them as one batch: cells
+		// shared between figures (e.g. Figs 3/4/5) run once, and the
+		// worker pool sees the widest possible schedule. Figure
+		// generation below then reads from the warm cache.
+		if err := r.Prewarm(harness.FigureOrder...); err != nil {
+			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+			os.Exit(1)
+		}
 		for _, id := range harness.FigureOrder {
 			runFigure(r, id)
 			fmt.Println()
@@ -86,8 +103,20 @@ func main() {
 			runAblation(r, *figure)
 			return
 		}
+		var ids []string
 		for _, id := range strings.Split(*figure, ",") {
-			runFigure(r, strings.TrimSpace(id))
+			ids = append(ids, strings.TrimSpace(id))
+		}
+		if len(ids) > 1 {
+			// Batch-execute the requested figures' combined cell set so
+			// shared cells run once and the pool stays full. Errors are
+			// deliberately dropped: runFigure below re-resolves each
+			// figure and reports unknown ids and cell failures with
+			// their usual messages.
+			_ = r.Prewarm(ids...)
+		}
+		for _, id := range ids {
+			runFigure(r, id)
 			fmt.Println()
 		}
 	}

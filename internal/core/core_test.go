@@ -3,11 +3,23 @@ package core
 import (
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/store"
 )
 
+// soak shrinks a config's virtual measurement windows under -short: the
+// end-to-end benchmark runs here are the slowest tests in the tree, and
+// the shape assertions hold at a fraction of the default 2s window.
+func soak(cfg Config) Config {
+	if testing.Short() {
+		cfg.Warmup = 100 * sim.Millisecond
+		cfg.Measure = 300 * sim.Millisecond
+	}
+	return cfg
+}
+
 func TestNewBenchmarkAndRun(t *testing.T) {
-	b, err := NewBenchmark(Config{System: "redis", Nodes: 2, Records: 2000, Scale: 0.001})
+	b, err := NewBenchmark(soak(Config{System: "redis", Nodes: 2, Records: 2000, Scale: 0.001}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +94,7 @@ func TestSystemsAndWorkloadsLists(t *testing.T) {
 }
 
 func TestDiskBoundProfile(t *testing.T) {
-	b, err := NewBenchmark(Config{System: "cassandra", Nodes: 2, Records: 20000, Scale: 0.001, DiskBound: true})
+	b, err := NewBenchmark(soak(Config{System: "cassandra", Nodes: 2, Records: 20000, Scale: 0.001, DiskBound: true}))
 	if err != nil {
 		t.Fatal(err)
 	}

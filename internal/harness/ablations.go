@@ -14,7 +14,10 @@ import (
 
 // Ablations return figures comparing a paper-documented design choice
 // against its alternative (DESIGN.md §5). Each figure has one series per
-// variant.
+// variant. Like the figures, every ablation declares its measurement grid
+// up front and executes it on the runner's worker pool; each measurement
+// deploys a private engine with the runner's base seed, so results are
+// schedule-independent.
 func (r *Runner) Ablations() map[string]func() (Figure, error) {
 	return map[string]func() (Figure, error){
 		"ablation-cassandra-tokens":      r.AblationCassandraTokens,
@@ -30,7 +33,8 @@ func (r *Runner) Ablations() map[string]func() (Figure, error) {
 }
 
 // measureVariant loads and runs one custom deployment, returning its cell
-// result.
+// result. It builds a private engine/cluster/store, so concurrent variant
+// measurements share no state.
 func (r *Runner) measureVariant(sys System, nodes int, workload string, build func(*cluster.Cluster) store.Store) (CellResult, error) {
 	wl, err := ycsb.WorkloadByName(workload)
 	if err != nil {
@@ -65,34 +69,64 @@ func (r *Runner) measureVariant(sys System, nodes int, workload string, build fu
 	}, nil
 }
 
+// variantJob is one planned measurement in an ablation grid: a (series,
+// x) coordinate plus the deployment to measure there.
+type variantJob struct {
+	series int // index into the figure's series
+	x      float64
+	sys    System
+	nodes  int
+	wl     string
+	build  func(*cluster.Cluster) store.Store
+}
+
+// runVariantGrid executes jobs on the worker pool and appends each result
+// to its series through yval, preserving declaration order.
+func (r *Runner) runVariantGrid(fig *Figure, jobs []variantJob, yval func(CellResult) float64) error {
+	results, err := parallelMap(len(jobs), r.workers(), func(i int) (CellResult, error) {
+		j := jobs[i]
+		return r.measureVariant(j.sys, j.nodes, j.wl, j.build)
+	})
+	if err != nil {
+		return err
+	}
+	for i, j := range jobs {
+		s := &fig.Series[j.series]
+		s.X = append(s.X, j.x)
+		s.Y = append(s.Y, yval(results[i]))
+	}
+	return nil
+}
+
 // AblationCassandraTokens compares optimal vs random token assignment
 // (§6: random tokens "frequently resulted in a highly unbalanced workload").
 func (r *Runner) AblationCassandraTokens() (Figure, error) {
 	fig := Figure{ID: "ablation-cassandra-tokens",
 		Title: "Cassandra: optimal vs random token assignment (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
-	for _, variant := range []struct {
+	var jobs []variantJob
+	for si, variant := range []struct {
 		label  string
 		random bool
 	}{{"optimal-tokens", false}, {"random-tokens", true}} {
-		s := Series{Label: variant.label}
+		fig.Series = append(fig.Series, Series{Label: variant.label})
 		for _, n := range r.Cfg.NodeCounts {
 			if n == 1 {
 				continue // token placement is moot on one node
 			}
 			random := variant.random
-			res, err := r.measureVariant(Cassandra, n, "R", func(c *cluster.Cluster) store.Store {
-				return cassandra.New(c, cassandra.Options{
-					RandomTokens:       random,
-					MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-				})
+			jobs = append(jobs, variantJob{
+				series: si, x: float64(n), sys: Cassandra, nodes: n, wl: "R",
+				build: func(c *cluster.Cluster) store.Store {
+					return cassandra.New(c, cassandra.Options{
+						RandomTokens:       random,
+						MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+					})
+				},
 			})
-			if err != nil {
-				return Figure{}, err
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, res.Throughput)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -102,23 +136,24 @@ func (r *Runner) AblationCassandraTokens() (Figure, error) {
 func (r *Runner) AblationRedisSharding() (Figure, error) {
 	fig := Figure{ID: "ablation-redis-sharding",
 		Title: "Redis: Jedis ring vs balanced sharding (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
-	for _, variant := range []struct {
+	var jobs []variantJob
+	for si, variant := range []struct {
 		label    string
 		balanced bool
 	}{{"jedis-ring", false}, {"balanced", true}} {
-		s := Series{Label: variant.label}
+		fig.Series = append(fig.Series, Series{Label: variant.label})
 		for _, n := range r.Cfg.NodeCounts {
 			balanced := variant.balanced
-			res, err := r.measureVariant(Redis, n, "R", func(c *cluster.Cluster) store.Store {
-				return redis.New(c, redis.Options{Balanced: balanced})
+			jobs = append(jobs, variantJob{
+				series: si, x: float64(n), sys: Redis, nodes: n, wl: "R",
+				build: func(c *cluster.Cluster) store.Store {
+					return redis.New(c, redis.Options{Balanced: balanced})
+				},
 			})
-			if err != nil {
-				return Figure{}, err
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, res.Throughput)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -129,24 +164,40 @@ func (r *Runner) AblationRedisSharding() (Figure, error) {
 func (r *Runner) AblationMySQLBinlog() (Figure, error) {
 	fig := Figure{ID: "ablation-mysql-binlog",
 		Title: "MySQL: disk usage with and without binary log", XLabel: "nodes", YLabel: "GB (paper scale)"}
-	for _, variant := range []struct {
+	variants := []struct {
 		label  string
 		binlog bool
-	}{{"binlog-on", true}, {"binlog-off", false}} {
-		s := Series{Label: variant.label}
+	}{{"binlog-on", true}, {"binlog-off", false}}
+	type job struct {
+		series int
+		n      int
+		binlog bool
+	}
+	var jobs []job
+	for si, variant := range variants {
+		fig.Series = append(fig.Series, Series{Label: variant.label})
 		for _, n := range r.Cfg.NodeCounts {
-			binlog := variant.binlog
-			e := sim.NewEngine(r.Cfg.Seed)
-			c := cluster.New(e, cluster.ClusterM(n).Scale(r.Cfg.Scale))
-			st := mysql.New(c, mysql.Options{BinLog: binlog})
-			records := int64(float64(r.Cfg.RecordsPerNode*int64(n)) * r.Cfg.Scale)
-			if err := ycsb.Load(st, records); err != nil {
-				return Figure{}, err
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, float64(st.DiskUsage())/r.Cfg.Scale/1e9)
+			jobs = append(jobs, job{series: si, n: n, binlog: variant.binlog})
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	disks, err := parallelMap(len(jobs), r.workers(), func(i int) (float64, error) {
+		j := jobs[i]
+		e := sim.NewEngine(r.Cfg.Seed)
+		c := cluster.New(e, cluster.ClusterM(j.n).Scale(r.Cfg.Scale))
+		st := mysql.New(c, mysql.Options{BinLog: j.binlog})
+		records := int64(float64(r.Cfg.RecordsPerNode*int64(j.n)) * r.Cfg.Scale)
+		if err := ycsb.Load(st, records); err != nil {
+			return 0, err
+		}
+		return float64(st.DiskUsage()) / r.Cfg.Scale / 1e9, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, j := range jobs {
+		s := &fig.Series[j.series]
+		s.X = append(s.X, float64(j.n))
+		s.Y = append(s.Y, disks[i])
 	}
 	return fig, nil
 }
@@ -156,26 +207,27 @@ func (r *Runner) AblationMySQLBinlog() (Figure, error) {
 func (r *Runner) AblationHBaseAutoflush() (Figure, error) {
 	fig := Figure{ID: "ablation-hbase-autoflush",
 		Title: "HBase: client write buffer vs autoflush (Workload W)", XLabel: "nodes", YLabel: "ops/sec"}
-	for _, variant := range []struct {
+	var jobs []variantJob
+	for si, variant := range []struct {
 		label     string
 		autoflush bool
 	}{{"write-buffer", false}, {"autoflush", true}} {
-		s := Series{Label: variant.label}
+		fig.Series = append(fig.Series, Series{Label: variant.label})
 		for _, n := range r.Cfg.NodeCounts {
 			autoflush := variant.autoflush
-			res, err := r.measureVariant(HBase, n, "W", func(c *cluster.Cluster) store.Store {
-				return hbase.New(c, hbase.Options{
-					AutoFlush:          autoflush,
-					MemstoreFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-				})
+			jobs = append(jobs, variantJob{
+				series: si, x: float64(n), sys: HBase, nodes: n, wl: "W",
+				build: func(c *cluster.Cluster) store.Store {
+					return hbase.New(c, hbase.Options{
+						AutoFlush:          autoflush,
+						MemstoreFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+					})
+				},
 			})
-			if err != nil {
-				return Figure{}, err
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, res.Throughput)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -186,23 +238,24 @@ func (r *Runner) AblationHBaseAutoflush() (Figure, error) {
 func (r *Runner) AblationVoltDBAsync() (Figure, error) {
 	fig := Figure{ID: "ablation-voltdb-async",
 		Title: "VoltDB: synchronous vs asynchronous client (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
-	for _, variant := range []struct {
+	var jobs []variantJob
+	for si, variant := range []struct {
 		label string
 		async bool
 	}{{"sync-client", false}, {"async-client", true}} {
-		s := Series{Label: variant.label}
+		fig.Series = append(fig.Series, Series{Label: variant.label})
 		for _, n := range r.Cfg.NodeCounts {
 			async := variant.async
-			res, err := r.measureVariant(VoltDB, n, "R", func(c *cluster.Cluster) store.Store {
-				return voltdb.New(c, voltdb.Options{Async: async})
+			jobs = append(jobs, variantJob{
+				series: si, x: float64(n), sys: VoltDB, nodes: n, wl: "R",
+				build: func(c *cluster.Cluster) store.Store {
+					return voltdb.New(c, voltdb.Options{Async: async})
+				},
 			})
-			if err != nil {
-				return Figure{}, err
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, res.Throughput)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -214,22 +267,23 @@ func (r *Runner) AblationCassandraCommitlog() (Figure, error) {
 	fig := Figure{ID: "ablation-cassandra-commitlog",
 		Title:  "Cassandra: commit log batch window vs write latency (Workload RW, 4 nodes)",
 		XLabel: "window ms", YLabel: "write latency ms"}
-	s := Series{Label: "write-latency"}
+	fig.Series = append(fig.Series, Series{Label: "write-latency"})
+	var jobs []variantJob
 	for _, windowMs := range []int{2, 5, 10, 18, 30} {
 		window := sim.Time(windowMs) * sim.Millisecond
-		res, err := r.measureVariant(Cassandra, 4, "RW", func(c *cluster.Cluster) store.Store {
-			return cassandra.New(c, cassandra.Options{
-				CommitLogWindow:    window,
-				MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-			})
+		jobs = append(jobs, variantJob{
+			series: 0, x: float64(windowMs), sys: Cassandra, nodes: 4, wl: "RW",
+			build: func(c *cluster.Cluster) store.Store {
+				return cassandra.New(c, cassandra.Options{
+					CommitLogWindow:    window,
+					MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+				})
+			},
 		})
-		if err != nil {
-			return Figure{}, err
-		}
-		s.X = append(s.X, float64(windowMs))
-		s.Y = append(s.Y, float64(res.WriteLat)/float64(sim.Millisecond))
 	}
-	fig.Series = append(fig.Series, s)
+	if err := r.runVariantGrid(&fig, jobs, writeLatMetric); err != nil {
+		return Figure{}, err
+	}
 	return fig, nil
 }
 
@@ -247,27 +301,28 @@ func (r *Runner) AblationCassandraReplication() (Figure, error) {
 		{"rf3-one", 3, 1},
 		{"rf3-all", 3, 3},
 	}
-	for _, v := range variants {
-		s := Series{Label: v.label}
+	var jobs []variantJob
+	for si, v := range variants {
+		fig.Series = append(fig.Series, Series{Label: v.label})
 		for _, n := range r.Cfg.NodeCounts {
 			if n < 3 {
 				continue // RF=3 needs at least 3 nodes for distinct replicas
 			}
 			rf, cl := v.rf, v.cl
-			res, err := r.measureVariant(Cassandra, n, "W", func(c *cluster.Cluster) store.Store {
-				return cassandra.New(c, cassandra.Options{
-					ReplicationFactor:  rf,
-					WriteConsistency:   cl,
-					MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-				})
+			jobs = append(jobs, variantJob{
+				series: si, x: float64(n), sys: Cassandra, nodes: n, wl: "W",
+				build: func(c *cluster.Cluster) store.Store {
+					return cassandra.New(c, cassandra.Options{
+						ReplicationFactor:  rf,
+						WriteConsistency:   cl,
+						MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+					})
+				},
 			})
-			if err != nil {
-				return Figure{}, err
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, res.Throughput)
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
+		return Figure{}, err
 	}
 	return fig, nil
 }
@@ -279,29 +334,43 @@ func (r *Runner) AblationCassandraCompression() (Figure, error) {
 	fig := Figure{ID: "ablation-cassandra-compression",
 		Title: "Cassandra: compression off vs on (Workload R, disk + throughput)", XLabel: "nodes",
 		YLabel: "ops/sec (tput series) / GB (disk series)"}
-	for _, variant := range []struct {
+	variants := []struct {
 		label    string
 		compress bool
-	}{{"off", false}, {"on", true}} {
-		tput := Series{Label: "tput-" + variant.label}
-		disk := Series{Label: "disk-" + variant.label}
+	}{{"off", false}, {"on", true}}
+	type job struct {
+		tputSeries int // disk series is tputSeries+1
+		n          int
+		compress   bool
+	}
+	var jobs []job
+	for _, variant := range variants {
+		si := len(fig.Series)
+		fig.Series = append(fig.Series,
+			Series{Label: "tput-" + variant.label},
+			Series{Label: "disk-" + variant.label})
 		for _, n := range r.Cfg.NodeCounts {
-			compress := variant.compress
-			res, err := r.measureVariant(Cassandra, n, "R", func(c *cluster.Cluster) store.Store {
-				return cassandra.New(c, cassandra.Options{
-					Compression:        compress,
-					MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-				})
-			})
-			if err != nil {
-				return Figure{}, err
-			}
-			tput.X = append(tput.X, float64(n))
-			tput.Y = append(tput.Y, res.Throughput)
-			disk.X = append(disk.X, float64(n))
-			disk.Y = append(disk.Y, res.DiskBytesPaperScale/1e9)
+			jobs = append(jobs, job{tputSeries: si, n: n, compress: variant.compress})
 		}
-		fig.Series = append(fig.Series, tput, disk)
+	}
+	results, err := parallelMap(len(jobs), r.workers(), func(i int) (CellResult, error) {
+		j := jobs[i]
+		return r.measureVariant(Cassandra, j.n, "R", func(c *cluster.Cluster) store.Store {
+			return cassandra.New(c, cassandra.Options{
+				Compression:        j.compress,
+				MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
+			})
+		})
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, j := range jobs {
+		tput, disk := &fig.Series[j.tputSeries], &fig.Series[j.tputSeries+1]
+		tput.X = append(tput.X, float64(j.n))
+		tput.Y = append(tput.Y, results[i].Throughput)
+		disk.X = append(disk.X, float64(j.n))
+		disk.Y = append(disk.Y, results[i].DiskBytesPaperScale/1e9)
 	}
 	return fig, nil
 }
@@ -314,32 +383,43 @@ func (r *Runner) AblationConnections() (Figure, error) {
 	fig := Figure{ID: "ablation-connections",
 		Title:  "Connections per node vs throughput and read latency (Cassandra, 4 nodes, Workload R)",
 		XLabel: "conns/node", YLabel: "ops/sec (tput) / ms (latency)"}
-	tput := Series{Label: "throughput"}
-	lat := Series{Label: "read-latency-ms"}
-	for _, perNode := range []int{8, 32, 64, 128, 256, 512} {
-		perNode := perNode
+	perNodes := []int{8, 32, 64, 128, 256, 512}
+	type point struct{ tput, latMs float64 }
+	results, err := parallelMap(len(perNodes), r.workers(), func(i int) (point, error) {
+		perNode := perNodes[i]
 		wl, err := ycsb.WorkloadByName("R")
 		if err != nil {
-			return Figure{}, err
+			return point{}, err
 		}
 		e := sim.NewEngine(r.Cfg.Seed)
 		c := cluster.New(e, cluster.ClusterM(4).Scale(r.Cfg.Scale))
 		s := cassandra.New(c, cassandra.Options{MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale)})
 		records := int64(float64(r.Cfg.RecordsPerNode*4) * r.Cfg.Scale)
 		if err := ycsb.Load(s, records); err != nil {
-			return Figure{}, err
+			return point{}, err
 		}
 		res, err := ycsb.Run(e, ycsb.RunConfig{
 			Store: s, Workload: wl, Clients: perNode * 4,
 			InitialRecords: records, Warmup: r.Cfg.Warmup, Measure: r.Cfg.Measure,
 		})
 		if err != nil {
-			return Figure{}, err
+			return point{}, err
 		}
+		return point{
+			tput:  res.Throughput(),
+			latMs: float64(res.MeanLatency(0)) / float64(sim.Millisecond),
+		}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	tput := Series{Label: "throughput"}
+	lat := Series{Label: "read-latency-ms"}
+	for i, perNode := range perNodes {
 		tput.X = append(tput.X, float64(perNode))
-		tput.Y = append(tput.Y, res.Throughput())
+		tput.Y = append(tput.Y, results[i].tput)
 		lat.X = append(lat.X, float64(perNode))
-		lat.Y = append(lat.Y, float64(res.MeanLatency(0))/float64(sim.Millisecond))
+		lat.Y = append(lat.Y, results[i].latMs)
 	}
 	fig.Series = append(fig.Series, tput, lat)
 	return fig, nil

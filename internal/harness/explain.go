@@ -44,7 +44,9 @@ func (r *Runner) Explain(c Cell) (*Explanation, error) {
 	}
 	spec := clusterSpecFor(c, r.Cfg)
 	records := recordsFor(c, r.Cfg)
-	dep, err := Deploy(r.Cfg.Seed, c.System, spec, r.Cfg.Scale)
+	// Same seed derivation as Run's first repetition, so the explanation
+	// describes the exact run that produced the cached cell result.
+	dep, err := Deploy(r.cellSeed(r.key(c), 0), c.System, spec, r.Cfg.Scale)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,129 @@
+package harness
+
+import "fmt"
+
+// The planning layer: every figure declares its full cell set up front so
+// the execution layer (Runner.RunAll) can schedule dozens of independent
+// simulations across workers, and figure generation afterwards reads a
+// warm cache. Order-independent seeding (Runner.cellSeed) is what makes
+// this split sound — a planned parallel schedule and the old one-at-a-time
+// schedule produce bit-identical results.
+
+// figKind classifies how a figure's cells are laid out and assembled.
+type figKind int
+
+const (
+	kindSweep    figKind = iota // systems × node counts, one workload
+	kindBounded                 // TargetFraction sweep at 8 nodes (Figs 15/16)
+	kindDisk                    // load-only disk usage (Fig 17)
+	kindClusterD                // workload bars on Cluster D (Figs 18-20)
+)
+
+// figSpec declares one figure: metadata plus enough structure for the
+// planner (CellsFor) and the builders (figures.go) to agree on exactly
+// which cells the figure measures.
+type figSpec struct {
+	id       string
+	title    string
+	yLabel   string
+	kind     figKind
+	workload string   // kindSweep only
+	systems  []System // series order
+	m        metric   // headline metric (nil for kindDisk)
+}
+
+// boundedNodes and clusterDNodes are the fixed cluster sizes of the
+// bounded-throughput (Figs 15/16) and Cluster D (Figs 18-20) experiments.
+const (
+	boundedNodes  = 8
+	clusterDNodes = 8
+)
+
+// clusterDWorkloads are the Cluster D bar-chart workloads, in X order.
+var clusterDWorkloads = []string{"R", "RW", "W"}
+
+// figSpecs lists every regenerated figure in paper order.
+var figSpecs = []figSpec{
+	{id: "3", title: "Throughput for Workload R", yLabel: "ops/sec", kind: kindSweep, workload: "R", systems: AllSystems, m: throughputMetric},
+	{id: "4", title: "Read latency for Workload R", yLabel: "ms", kind: kindSweep, workload: "R", systems: AllSystems, m: readLatMetric},
+	{id: "5", title: "Write latency for Workload R", yLabel: "ms", kind: kindSweep, workload: "R", systems: AllSystems, m: writeLatMetric},
+	{id: "6", title: "Throughput for Workload RW", yLabel: "ops/sec", kind: kindSweep, workload: "RW", systems: AllSystems, m: throughputMetric},
+	{id: "7", title: "Read latency for Workload RW", yLabel: "ms", kind: kindSweep, workload: "RW", systems: AllSystems, m: readLatMetric},
+	{id: "8", title: "Write latency for Workload RW", yLabel: "ms", kind: kindSweep, workload: "RW", systems: AllSystems, m: writeLatMetric},
+	{id: "9", title: "Throughput for Workload W", yLabel: "ops/sec", kind: kindSweep, workload: "W", systems: AllSystems, m: throughputMetric},
+	{id: "10", title: "Read latency for Workload W", yLabel: "ms", kind: kindSweep, workload: "W", systems: AllSystems, m: readLatMetric},
+	{id: "11", title: "Write latency for Workload W", yLabel: "ms", kind: kindSweep, workload: "W", systems: AllSystems, m: writeLatMetric},
+	{id: "12", title: "Throughput for Workload RS", yLabel: "ops/sec", kind: kindSweep, workload: "RS", systems: ScanSystems, m: throughputMetric},
+	{id: "13", title: "Scan latency for Workload RS", yLabel: "ms", kind: kindSweep, workload: "RS", systems: ScanSystems, m: scanLatMetric},
+	{id: "14", title: "Throughput for Workload RSW", yLabel: "ops/sec", kind: kindSweep, workload: "RSW", systems: ScanSystems, m: throughputMetric},
+	{id: "15", title: "Read latency for bounded throughput on Workload R", yLabel: "ms", kind: kindBounded, workload: "R", systems: boundedSystems, m: readLatMetric},
+	{id: "16", title: "Write latency for bounded throughput on Workload R", yLabel: "ms", kind: kindBounded, workload: "R", systems: boundedSystems, m: writeLatMetric},
+	{id: "17", title: "Disk usage for 10 million records per node", yLabel: "GB", kind: kindDisk, systems: DiskSystems},
+	{id: "18", title: "Throughput for 8 nodes in Cluster D", yLabel: "ops/sec", kind: kindClusterD, systems: ClusterDSystems, m: throughputMetric},
+	{id: "19", title: "Read latency for 8 nodes in Cluster D", yLabel: "ms", kind: kindClusterD, systems: ClusterDSystems, m: readLatMetric},
+	{id: "20", title: "Write latency for 8 nodes in Cluster D", yLabel: "ms", kind: kindClusterD, systems: ClusterDSystems, m: writeLatMetric},
+}
+
+func specFor(id string) (figSpec, bool) {
+	for _, s := range figSpecs {
+		if s.id == id {
+			return s, true
+		}
+	}
+	return figSpec{}, false
+}
+
+// CellsFor returns every cell figure id measures, dependency-ordered: a
+// TargetFraction cell appears after the unthrottled base cell it is
+// normalized against, so RunAll resolves the throttle target from the warm
+// cache. Unknown ids return nil.
+func (r *Runner) CellsFor(id string) []Cell {
+	spec, ok := specFor(id)
+	if !ok {
+		return nil
+	}
+	var cells []Cell
+	switch spec.kind {
+	case kindSweep:
+		for _, sys := range spec.systems {
+			for _, n := range r.Cfg.NodeCounts {
+				cells = append(cells, Cell{System: sys, Nodes: n, Workload: spec.workload})
+			}
+		}
+	case kindBounded:
+		for _, sys := range spec.systems {
+			cells = append(cells, Cell{System: sys, Nodes: boundedNodes, Workload: spec.workload})
+			for _, f := range boundedFractions {
+				cells = append(cells, Cell{System: sys, Nodes: boundedNodes, Workload: spec.workload, TargetFraction: f})
+			}
+		}
+	case kindDisk:
+		for _, sys := range spec.systems {
+			for _, n := range r.Cfg.NodeCounts {
+				cells = append(cells, Cell{System: sys, Nodes: n, LoadOnly: true})
+			}
+		}
+	case kindClusterD:
+		for _, sys := range spec.systems {
+			for _, wl := range clusterDWorkloads {
+				cells = append(cells, Cell{System: sys, Nodes: clusterDNodes, Workload: wl, ClusterD: true})
+			}
+		}
+	}
+	return cells
+}
+
+// Prewarm plans and executes the given figures' cells through the worker
+// pool in one batch, deduplicating cells shared between figures (e.g.
+// Figs 3/4/5 plot the same runs); subsequent figure generation then reads
+// entirely from the warm cache.
+func (r *Runner) Prewarm(ids ...string) error {
+	var cells []Cell
+	for _, id := range ids {
+		if _, ok := specFor(id); !ok {
+			return fmt.Errorf("harness: unknown figure %q", id)
+		}
+		cells = append(cells, r.CellsFor(id)...)
+	}
+	return r.RunAll(cells)
+}

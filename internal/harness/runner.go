@@ -1,7 +1,12 @@
 package harness
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -78,6 +83,20 @@ type Cell struct {
 	// TargetFraction throttles to a share of the cell's max throughput
 	// (0 = unthrottled); used by the bounded-throughput experiment.
 	TargetFraction float64
+	// LoadOnly deploys and loads the cell without running a workload
+	// (the disk-usage experiment, Fig 17). Workload is ignored.
+	LoadOnly bool
+}
+
+// base returns the unthrottled cell a TargetFraction cell is normalized
+// against, and whether c has one.
+func (c Cell) base() (Cell, bool) {
+	if c.TargetFraction <= 0 {
+		return Cell{}, false
+	}
+	b := c
+	b.TargetFraction = 0
+	return b, true
 }
 
 // CellResult is one measured data point.
@@ -96,31 +115,153 @@ type CellResult struct {
 
 // Runner executes and caches experiment cells so figures sharing the same
 // runs (e.g. Fig 3/4/5) measure each cell once.
+//
+// Determinism contract: a cell's engine seed is a stable hash of
+// (Cfg.Seed, cell identity, repetition), never of execution history, so a
+// cell's result is bit-identical whether it runs first, last, shuffled or
+// on a concurrent worker. Run and RunAll are safe for concurrent use;
+// concurrent requests for the same cell share one execution.
 type Runner struct {
-	Cfg   Config
-	cache map[string]CellResult
-	// Progress, when set, receives one line per executed cell.
+	Cfg Config
+	// Workers bounds concurrent cell executions in RunAll and the
+	// ablation grids; 0 means GOMAXPROCS. Note each in-flight cell holds
+	// a full simulated cluster (engine, stores, loaded records), so at
+	// paper scale workers multiply peak memory as well as CPU.
+	Workers int
+	// Progress, when set, receives one line per executed cell. Calls are
+	// serialized; RunAll delivers lines in plan order regardless of which
+	// worker finishes first.
 	Progress func(string)
+
+	mu       sync.Mutex
+	cache    map[string]CellResult
+	inflight map[string]*inflightCell
+	executed int64 // cells measured rather than served from cache
+
+	progressMu sync.Mutex
+}
+
+// inflightCell is the singleflight slot for a cell being measured: late
+// arrivals block on done and share the result.
+type inflightCell struct {
+	done chan struct{}
+	res  CellResult
+	err  error
 }
 
 // NewRunner creates a runner with the given config.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{Cfg: cfg.Defaults(), cache: map[string]CellResult{}}
+	return &Runner{
+		Cfg:      cfg.Defaults(),
+		cache:    map[string]CellResult{},
+		inflight: map[string]*inflightCell{},
+	}
 }
 
 func (r *Runner) key(c Cell) string {
-	return fmt.Sprintf("%s/%d/%s/d=%v/f=%.2f", c.System, c.Nodes, c.Workload, c.ClusterD, c.TargetFraction)
+	if c.LoadOnly {
+		return fmt.Sprintf("loadonly/%s/%d", c.System, c.Nodes)
+	}
+	// TargetFraction must print at full precision: rounding (e.g. %.2f)
+	// would collide a small fraction's key with its unthrottled base's,
+	// and resolving the base from inside the cell's own measurement would
+	// then wait forever on the cell's own singleflight slot.
+	return fmt.Sprintf("%s/%d/%s/d=%v/f=%g", c.System, c.Nodes, c.Workload, c.ClusterD, c.TargetFraction)
+}
+
+// cellSeed derives the engine seed for repetition rep of the cell
+// identified by key: a stable FNV-1a hash of (Cfg.Seed, key, rep). Results
+// depend only on config and cell identity, not on how many cells ran
+// before — the property that lets shuffled and parallel schedules produce
+// bit-identical figures.
+func (r *Runner) cellSeed(key string, rep int64) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(r.Cfg.Seed))
+	h.Write(b[:])
+	h.Write([]byte(key))
+	binary.LittleEndian.PutUint64(b[:], uint64(rep))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r *Runner) emit(line string) {
+	if r.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	r.Progress(line)
+	r.progressMu.Unlock()
 }
 
 // Run measures one cell (cached), averaging over Cfg.Repetitions
-// independent executions with distinct seeds.
+// independent executions with distinct seeds. Safe for concurrent use.
 func (r *Runner) Run(c Cell) (CellResult, error) {
-	if res, ok := r.cache[r.key(c)]; ok {
-		return res, nil
+	res, line, err := r.do(c)
+	if err == nil && line != "" {
+		r.emit(line)
+	}
+	return res, err
+}
+
+// LoadOnly deploys and loads a cell without running a workload; used by the
+// disk-usage experiment (Fig 17).
+func (r *Runner) LoadOnly(sys System, nodes int) (CellResult, error) {
+	return r.Run(Cell{System: sys, Nodes: nodes, LoadOnly: true})
+}
+
+// do resolves one cell through the cache with singleflight semantics:
+// concurrent calls for the same cell share one measurement. It returns the
+// cell's progress line when this call did the work ("" on a cache hit or
+// when another call measured it), leaving emission order to the caller.
+func (r *Runner) do(c Cell) (CellResult, string, error) {
+	key := r.key(c)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, "", nil
+	}
+	if fl, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-fl.done
+		return fl.res, "", fl.err
+	}
+	fl := &inflightCell{done: make(chan struct{})}
+	r.inflight[key] = fl
+	r.mu.Unlock()
+
+	fl.res, fl.err = r.measure(c, key)
+
+	r.mu.Lock()
+	if fl.err == nil {
+		r.cache[key] = fl.res
+	}
+	r.executed++
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(fl.done)
+	if fl.err != nil {
+		return CellResult{}, "", fl.err
+	}
+	return fl.res, progressLine(c, fl.res), nil
+}
+
+// measure executes a cell outside the cache: repetition averaging for
+// workload cells, a bare deploy+load for LoadOnly cells.
+func (r *Runner) measure(c Cell, key string) (CellResult, error) {
+	if c.LoadOnly {
+		return r.loadOnly(c, key)
 	}
 	var acc CellResult
 	for rep := 0; rep < r.Cfg.Repetitions; rep++ {
-		res, err := r.run(c, int64(rep)*7919)
+		res, err := r.run(c, key, int64(rep))
 		if err != nil {
 			return CellResult{}, err
 		}
@@ -137,11 +278,10 @@ func (r *Runner) Run(c Cell) (CellResult, error) {
 		acc.Ops += res.Ops
 		acc.Errors += res.Errors
 	}
-	r.cache[r.key(c)] = acc
 	return acc, nil
 }
 
-func (r *Runner) run(c Cell, seedOffset int64) (CellResult, error) {
+func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
 	wl, err := ycsb.WorkloadByName(c.Workload)
 	if err != nil {
 		return CellResult{}, err
@@ -151,10 +291,8 @@ func (r *Runner) run(c Cell, seedOffset int64) (CellResult, error) {
 	}
 
 	var target float64
-	if c.TargetFraction > 0 {
-		maxCell := c
-		maxCell.TargetFraction = 0
-		maxRes, err := r.Run(maxCell)
+	if base, ok := c.base(); ok {
+		maxRes, err := r.Run(base)
 		if err != nil {
 			return CellResult{}, err
 		}
@@ -163,8 +301,7 @@ func (r *Runner) run(c Cell, seedOffset int64) (CellResult, error) {
 
 	spec := clusterSpecFor(c, r.Cfg)
 	records := recordsFor(c, r.Cfg)
-	seed := r.Cfg.Seed + int64(len(r.cache)) + seedOffset
-	dep, err := Deploy(seed, c.System, spec, r.Cfg.Scale)
+	dep, err := Deploy(r.cellSeed(key, rep), c.System, spec, r.Cfg.Scale)
 	if err != nil {
 		return CellResult{}, err
 	}
@@ -183,7 +320,7 @@ func (r *Runner) run(c Cell, seedOffset int64) (CellResult, error) {
 	if err != nil {
 		return CellResult{}, err
 	}
-	out := CellResult{
+	return CellResult{
 		Cell:                c,
 		Throughput:          res.Throughput(),
 		ReadLat:             res.MeanLatency(stats.OpRead),
@@ -193,34 +330,188 @@ func (r *Runner) run(c Cell, seedOffset int64) (CellResult, error) {
 		Ops:                 res.Ops(),
 		Errors:              res.Errors(),
 		DiskBytesPaperScale: float64(dep.Store.DiskUsage()) / r.Cfg.Scale,
-	}
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("%-10s n=%-2d %-4s tput=%9.0f ops/s read=%9v write=%9v scan=%9v err=%d",
-			c.System, c.Nodes, c.Workload, out.Throughput, out.ReadLat, out.WriteLat, out.ScanLat, out.Errors))
-	}
-	return out, nil
+	}, nil
 }
 
-// LoadOnly deploys and loads a cell without running a workload; used by the
-// disk-usage experiment (Fig 17).
-func (r *Runner) LoadOnly(sys System, nodes int) (CellResult, error) {
-	key := fmt.Sprintf("loadonly/%s/%d", sys, nodes)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	spec := cluster.ClusterM(nodes)
-	records := int64(float64(r.Cfg.RecordsPerNode*int64(nodes)) * r.Cfg.Scale)
-	dep, err := Deploy(r.Cfg.Seed, sys, spec, r.Cfg.Scale)
+// loadOnly deploys and loads without a workload run.
+func (r *Runner) loadOnly(c Cell, key string) (CellResult, error) {
+	spec := cluster.ClusterM(c.Nodes)
+	records := int64(float64(r.Cfg.RecordsPerNode*int64(c.Nodes)) * r.Cfg.Scale)
+	dep, err := Deploy(r.cellSeed(key, 0), c.System, spec, r.Cfg.Scale)
 	if err != nil {
 		return CellResult{}, err
 	}
 	if err := ycsb.Load(dep.Store, records); err != nil {
 		return CellResult{}, err
 	}
-	res := CellResult{
-		Cell:                Cell{System: sys, Nodes: nodes},
+	return CellResult{
+		Cell:                c,
 		DiskBytesPaperScale: float64(dep.Store.DiskUsage()) / r.Cfg.Scale,
+	}, nil
+}
+
+func progressLine(c Cell, res CellResult) string {
+	if c.LoadOnly {
+		return fmt.Sprintf("%-10s n=%-2d load disk=%8.2fGB (paper scale)",
+			c.System, c.Nodes, res.DiskBytesPaperScale/1e9)
 	}
-	r.cache[key] = res
-	return res, nil
+	return fmt.Sprintf("%-10s n=%-2d %-4s tput=%9.0f ops/s read=%9v write=%9v scan=%9v err=%d",
+		c.System, c.Nodes, c.Workload, res.Throughput, res.ReadLat, res.WriteLat, res.ScanLat, res.Errors)
+}
+
+// RunAll executes cells on a pool of Workers goroutines. Duplicates are
+// measured once; a TargetFraction cell is scheduled only after its
+// unthrottled base cell when the base is part of the plan (otherwise Run
+// resolves the dependency recursively on the same worker). Progress lines
+// come out in plan order regardless of completion order. All runnable
+// cells execute even if one errors; the first error (in completion order)
+// is returned at the end.
+func (r *Runner) RunAll(cells []Cell) error {
+	// Dedupe, preserving first-occurrence order: plan order is also
+	// progress-emission order.
+	var plan []Cell
+	index := map[string]int{}
+	for _, c := range cells {
+		k := r.key(c)
+		if _, ok := index[k]; ok {
+			continue
+		}
+		index[k] = len(plan)
+		plan = append(plan, c)
+	}
+	n := len(plan)
+	if n == 0 {
+		return nil
+	}
+
+	// Dependency DAG: throttled cell <- its base cell. Depth is one by
+	// construction, but the scheduler below handles any DAG.
+	dependents := make([][]int, n)
+	blocked := make([]int, n)
+	for i, c := range plan {
+		if base, ok := c.base(); ok {
+			if j, ok := index[r.key(base)]; ok && j != i {
+				dependents[j] = append(dependents[j], i)
+				blocked[i]++
+			}
+		}
+	}
+
+	ready := make(chan int, n) // buffered: sends below never block
+	for i, b := range blocked {
+		if b == 0 {
+			ready <- i
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		completed = make([]bool, n)
+		lines     = make([]string, n)
+		skip      = make([]error, n) // dependency failure to report instead of running
+		next      int
+		done      int
+	)
+	complete := func(i int, line string, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		completed[i] = true
+		lines[i] = line
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cell %s: %w", r.key(plan[i]), err)
+		}
+		for next < n && completed[next] {
+			if lines[next] != "" {
+				r.emit(lines[next])
+			}
+			next++
+		}
+		for _, d := range dependents[i] {
+			// Errors are not cached (a cell stays retryable), so a
+			// dependent dispatched after its base failed would re-measure
+			// the doomed base from scratch; fail it directly instead.
+			if err != nil && skip[d] == nil {
+				skip[d] = fmt.Errorf("base cell %s: %w", r.key(plan[i]), err)
+			}
+			blocked[d]--
+			if blocked[d] == 0 {
+				ready <- d
+			}
+		}
+		if done++; done == n {
+			close(ready)
+		}
+	}
+
+	workers := r.workers()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				mu.Lock()
+				skipped := skip[i]
+				mu.Unlock()
+				if skipped != nil {
+					complete(i, "", skipped)
+					continue
+				}
+				_, line, err := r.do(plan[i])
+				complete(i, line, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Executed reports how many cells this runner has measured (cache hits and
+// singleflight followers excluded). Tests use it to pin the planning
+// contract: generating a figure after RunAll(CellsFor(id)) must execute
+// nothing new.
+func (r *Runner) Executed() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executed
+}
+
+// parallelMap runs f(0..n-1) on up to workers goroutines and returns the
+// results in index order. Every call runs to completion; the first error
+// by index wins, keeping failures deterministic under any schedule.
+func parallelMap[T any](n, workers int, f func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var nextIdx int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&nextIdx, 1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

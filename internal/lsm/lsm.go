@@ -311,7 +311,9 @@ func (t *Tree) maybeFlush(e *sim.Engine, direct bool) {
 	t.mem = memtable.New(t.cfg.Seed + int64(t.gen) + 1)
 	e.Go("lsm-flush", func(p *sim.Proc) {
 		t.gen++
-		tab := sstable.Build(t.gen, full.All(), t.cfg.Overhead, t.cfg.BloomFPP)
+		// memtable.All is already key-ordered and duplicate-free, so the
+		// flush skips Build's copy+sort (BuildSorted is dedup-only).
+		tab := sstable.BuildSorted(t.gen, full.All(), t.cfg.Overhead, t.cfg.BloomFPP)
 		t.cfg.IO.WriteRun(p, tab.DiskBytes)
 		t.installTable(tab, full.Bytes())
 		t.flushing = false
@@ -326,7 +328,7 @@ func (t *Tree) flushNow(_ *sim.Proc) {
 		return
 	}
 	t.gen++
-	tab := sstable.Build(t.gen, t.mem.All(), t.cfg.Overhead, t.cfg.BloomFPP)
+	tab := sstable.BuildSorted(t.gen, t.mem.All(), t.cfg.Overhead, t.cfg.BloomFPP)
 	t.installTable(tab, t.mem.Bytes())
 	t.mem = memtable.New(t.cfg.Seed + int64(t.gen) + 1)
 	t.maybeCompactDirect()

@@ -175,6 +175,13 @@ func (e *Engine) Run(until Time) Time {
 	if until > 0 && e.now < until && !e.stopped {
 		e.now = until
 	}
+	// A drained queue releases the heap's backing array: load and measure
+	// phases can grow it to hundreds of thousands of slots, and a long-lived
+	// multi-figure process would otherwise pin that peak for every engine
+	// still reachable between Run horizons.
+	if len(e.events) == 0 && cap(e.events) > 64 {
+		e.events = nil
+	}
 	return e.now
 }
 

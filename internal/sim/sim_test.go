@@ -453,3 +453,39 @@ func TestPropertyResourceUtilizationBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunReleasesDrainedEventArray(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 10_000; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if cap(e.events) < 10_000 {
+		t.Fatalf("heap backing array cap = %d, want >= 10000", cap(e.events))
+	}
+	e.Run(0)
+	if cap(e.events) != 0 {
+		t.Errorf("drained heap still pins %d slots, want released backing array", cap(e.events))
+	}
+	// The engine stays usable after the release.
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	e.Run(0)
+	if !fired {
+		t.Fatal("engine unusable after heap release")
+	}
+}
+
+func TestRunKeepsPendingEventsAcrossHorizons(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Schedule(5, func() { fired++ })
+	e.Schedule(50, func() { fired++ })
+	e.Run(10) // stops mid-queue: the later event must survive
+	if fired != 1 || e.Pending() != 1 {
+		t.Fatalf("after first horizon: fired=%d pending=%d, want 1/1", fired, e.Pending())
+	}
+	e.Run(100)
+	if fired != 2 {
+		t.Fatalf("second horizon dropped the queued event: fired=%d", fired)
+	}
+}

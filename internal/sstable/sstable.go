@@ -36,16 +36,30 @@ type Overhead struct {
 func Build(gen int, entries []memtable.Entry, ov Overhead, fpp float64) *Table {
 	sorted := make([]memtable.Entry, len(entries))
 	copy(sorted, entries)
+	// The stable sort keeps duplicates in input order, so BuildSorted's
+	// last-occurrence-wins dedup preserves newest-write-wins.
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
-	// Deduplicate, keeping the last occurrence (newest write).
-	dedup := sorted[:0]
-	for i := 0; i < len(sorted); i++ {
-		if i+1 < len(sorted) && sorted[i+1].Key == sorted[i].Key {
+	return BuildSorted(gen, sorted, ov, fpp)
+}
+
+// BuildSorted creates a table from entries already in ascending key order
+// (duplicate keys adjacent, later occurrence wins), as produced by
+// memtable.All: the flush pipeline skips Build's copy+sort and pays only a
+// dedup scan. BuildSorted takes ownership of entries; the caller must not
+// reuse the slice.
+func BuildSorted(gen int, entries []memtable.Entry, ov Overhead, fpp float64) *Table {
+	// In-place dedup keeping the last of each key run. The common flush
+	// input (a memtable snapshot) has no duplicates, so this is a single
+	// pass of self-assignments.
+	w := 0
+	for i := 0; i < len(entries); i++ {
+		if i+1 < len(entries) && entries[i+1].Key == entries[i].Key {
 			continue
 		}
-		dedup = append(dedup, sorted[i])
+		entries[w] = entries[i]
+		w++
 	}
-	return buildFromSorted(gen, dedup, ov, fpp)
+	return buildFromSorted(gen, entries[:w], ov, fpp)
 }
 
 // buildFromSorted creates a table from entries already sorted by key with no

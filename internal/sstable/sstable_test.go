@@ -184,3 +184,53 @@ func TestSeekIterWalksFromStart(t *testing.T) {
 		t.Fatal("iterator past maxKey is valid")
 	}
 }
+
+func TestBuildSortedMatchesBuild(t *testing.T) {
+	// Same logical input: BuildSorted gets it pre-sorted with adjacent
+	// duplicates (later wins), Build gets it shuffled.
+	sorted := []memtable.Entry{
+		entry("a", "1"), entry("b", "old"), entry("b", "new"),
+		entry("c", "3"), entry("d", "4"),
+	}
+	shuffled := []memtable.Entry{
+		entry("d", "4"), entry("b", "old"), entry("a", "1"),
+		entry("b", "new"), entry("c", "3"),
+	}
+	fast := BuildSorted(2, sorted, ov, 0.01)
+	slow := Build(2, shuffled, ov, 0.01)
+	if fast.Len() != slow.Len() {
+		t.Fatalf("Len = %d, want %d", fast.Len(), slow.Len())
+	}
+	if fast.DiskBytes != slow.DiskBytes {
+		t.Fatalf("DiskBytes = %d, want %d", fast.DiskBytes, slow.DiskBytes)
+	}
+	fmin, fmax := fast.KeyRange()
+	smin, smax := slow.KeyRange()
+	if fmin != smin || fmax != smax {
+		t.Fatalf("range = [%s,%s], want [%s,%s]", fmin, fmax, smin, smax)
+	}
+	for _, k := range []string{"a", "b", "c", "d"} {
+		fv, fok := fast.Get(k)
+		sv, sok := slow.Get(k)
+		if !fok || !sok || string(fv[0]) != string(sv[0]) {
+			t.Fatalf("Get(%q): fast=%q,%v slow=%q,%v", k, fv, fok, sv, sok)
+		}
+	}
+	if v, _ := fast.Get("b"); string(v[0]) != "new" {
+		t.Fatalf("duplicate key kept %q, want last write", v[0])
+	}
+}
+
+func TestBuildSortedNoDuplicatesIsIdentity(t *testing.T) {
+	entries := []memtable.Entry{entry("a", "1"), entry("b", "2"), entry("c", "3")}
+	tb := BuildSorted(1, entries, ov, 0.01)
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+	got := tb.Scan("", 3)
+	for i, k := range []string{"a", "b", "c"} {
+		if got[i].Key != k {
+			t.Fatalf("entry %d = %q, want %q", i, got[i].Key, k)
+		}
+	}
+}
