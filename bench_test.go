@@ -135,27 +135,27 @@ func BenchmarkFig20ClusterDWriteLatency(b *testing.B) {
 }
 
 func BenchmarkAblationCassandraTokens(b *testing.B) {
-	runFigureBench(b, benchRunner.AblationCassandraTokens, "optimal_ops/s")
+	runFigureBench(b, benchRunner.Ablations()["ablation-cassandra-tokens"], "optimal_ops/s")
 }
 
 func BenchmarkAblationRedisSharding(b *testing.B) {
-	runFigureBench(b, benchRunner.AblationRedisSharding, "jedis_ops/s")
+	runFigureBench(b, benchRunner.Ablations()["ablation-redis-sharding"], "jedis_ops/s")
 }
 
 func BenchmarkAblationMySQLBinlog(b *testing.B) {
-	runFigureBench(b, benchRunner.AblationMySQLBinlog, "binlog_gb")
+	runFigureBench(b, benchRunner.Ablations()["ablation-mysql-binlog"], "binlog_gb")
 }
 
 func BenchmarkAblationHBaseAutoflush(b *testing.B) {
-	runFigureBench(b, benchRunner.AblationHBaseAutoflush, "buffered_ops/s")
+	runFigureBench(b, benchRunner.Ablations()["ablation-hbase-autoflush"], "buffered_ops/s")
 }
 
 func BenchmarkAblationVoltDBAsync(b *testing.B) {
-	runFigureBench(b, benchRunner.AblationVoltDBAsync, "sync_ops/s")
+	runFigureBench(b, benchRunner.Ablations()["ablation-voltdb-async"], "sync_ops/s")
 }
 
 func BenchmarkAblationCassandraCommitlog(b *testing.B) {
-	runFigureBench(b, benchRunner.AblationCassandraCommitlog, "write_ms")
+	runFigureBench(b, benchRunner.Ablations()["ablation-cassandra-commitlog"], "write_ms")
 }
 
 // BenchmarkSingleOps measures the per-operation simulation cost for each
@@ -251,11 +251,11 @@ func BenchmarkLSMScan(b *testing.B) {
 }
 
 func BenchmarkAblationCassandraReplication(b *testing.B) {
-	runFigureBench(b, benchRunner.AblationCassandraReplication, "rf1_ops/s")
+	runFigureBench(b, benchRunner.Ablations()["ablation-cassandra-replication"], "rf1_ops/s")
 }
 
 func BenchmarkAblationCassandraCompression(b *testing.B) {
-	runFigureBench(b, benchRunner.AblationCassandraCompression, "tput_off_ops/s")
+	runFigureBench(b, benchRunner.Ablations()["ablation-cassandra-compression"], "tput_off_ops/s")
 }
 
 // benchRunAllFig3 measures end-to-end cell execution for Fig 3's plan (18

@@ -8,8 +8,14 @@
 //	apmbench -figure all            # everything (takes a while)
 //	apmbench -figure table1         # the workload table
 //	apmbench -figure ablation-all   # design-choice ablations
+//	apmbench -scenario grid.json    # a user-defined scenario grid
 //	apmbench -scale 0.02 -measure 4 # higher fidelity
 //	apmbench -parallel 1            # serial cell execution
+//
+// A scenario file declares a grid — systems × workloads (Table 1 presets
+// or custom mixes, any record size) × node counts × deployment variants —
+// and runs through the same cached, seeded, parallel cell executor as the
+// figures; see examples/scenarios/.
 //
 // The -scale flag multiplies record counts and node RAM/disk together, so
 // memory-vs-disk behaviour matches the paper at any scale; see DESIGN.md.
@@ -25,7 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"repro/internal/harness"
@@ -46,6 +51,7 @@ func main() {
 		explain  = flag.String("explain", "", "diagnose one cell: system:nodes:workload[:D], e.g. cassandra:4:R or hbase:8:W:D")
 		reps     = flag.Int("reps", 1, "independent executions to average per cell")
 		parallel = flag.Int("parallel", 0, "concurrent cell executions (0 = GOMAXPROCS, 1 = serial)")
+		scenario = flag.String("scenario", "", "run a scenario grid from a JSON file (see examples/scenarios/)")
 	)
 	flag.Parse()
 
@@ -75,6 +81,11 @@ func main() {
 		return
 	}
 
+	if *scenario != "" {
+		runScenario(r, *scenario)
+		return
+	}
+
 	switch *figure {
 	case "table1":
 		fmt.Print(harness.Table1())
@@ -94,7 +105,14 @@ func main() {
 			fmt.Println()
 		}
 	case "ablation-all":
-		for _, name := range ablationNames(r) {
+		// Plan every ablation's cells as one batch: cells shared between
+		// ablations (and with any already-cached figure cells) run once,
+		// and the worker pool sees the widest possible schedule.
+		if err := r.Prewarm(harness.AblationOrder...); err != nil {
+			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, name := range harness.AblationOrder {
 			runAblation(r, name)
 			fmt.Println()
 		}
@@ -147,14 +165,7 @@ func runFigure(r *harness.Runner, id string) {
 	emit(fig)
 }
 
-func ablationNames(r *harness.Runner) []string {
-	var names []string
-	for name := range r.Ablations() {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func ablationNames(r *harness.Runner) []string { return harness.AblationOrder }
 
 func runAblation(r *harness.Runner, name string) {
 	gen, ok := r.Ablations()[name]
@@ -179,6 +190,27 @@ func emit(fig harness.Figure) {
 		return
 	}
 	fmt.Print(fig.Render())
+}
+
+// runScenario loads a scenario grid from path, executes it and emits the
+// resulting figure.
+func runScenario(r *harness.Runner, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+		os.Exit(2)
+	}
+	sc, err := harness.ParseScenario(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+		os.Exit(2)
+	}
+	fig, err := r.RunScenario(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+		os.Exit(1)
+	}
+	emit(fig)
 }
 
 // runExplain parses system:nodes:workload[:D] and prints the utilization

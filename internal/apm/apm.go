@@ -28,8 +28,47 @@ type Measurement struct {
 // Key encodes the measurement's storage key: metric identity plus
 // zero-padded timestamp, so that per-metric scans return time ranges in
 // order. APM data is append-only (§3), so the key is unique per interval.
+// This is the ingest pipeline's per-measurement hot path, so the key is
+// assembled into one sized buffer instead of going through fmt (the format
+// is exactly "%s|%012d").
 func (m Measurement) Key() string {
-	return fmt.Sprintf("%s|%012d", m.Metric, m.Timestamp)
+	b := make([]byte, 0, len(m.Metric)+1+timestampWidth)
+	b = append(b, m.Metric...)
+	b = append(b, '|')
+	b = appendPaddedInt(b, m.Timestamp)
+	return string(b)
+}
+
+// timestampWidth is the zero-padded timestamp field width; unix seconds fit
+// in 12 digits until the year 33658.
+const timestampWidth = 12
+
+// appendPaddedInt appends ts zero-padded to timestampWidth digits,
+// matching fmt's %012d (sign counts toward the width; wider values extend
+// past it).
+func appendPaddedInt(b []byte, ts int64) []byte {
+	if ts < 0 {
+		b = append(b, '-')
+		return appendUintPadded(b, uint64(-ts), timestampWidth-1)
+	}
+	return appendUintPadded(b, uint64(ts), timestampWidth)
+}
+
+func appendUintPadded(b []byte, v uint64, width int) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = '0' + byte(v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	for pad := width - (len(tmp) - i); pad > 0; pad-- {
+		b = append(b, '0')
+	}
+	return append(b, tmp[i:]...)
 }
 
 // Fields encodes the measurement payload as the record's value fields.

@@ -1,426 +1,443 @@
 package harness
 
 import (
-	"repro/internal/cluster"
+	"fmt"
+
 	"repro/internal/sim"
-	"repro/internal/store"
-	"repro/internal/stores/cassandra"
-	"repro/internal/stores/hbase"
-	"repro/internal/stores/mysql"
-	"repro/internal/stores/redis"
-	"repro/internal/stores/voltdb"
-	"repro/internal/ycsb"
 )
 
-// Ablations return figures comparing a paper-documented design choice
-// against its alternative (DESIGN.md §5). Each figure has one series per
-// variant. Like the figures, every ablation declares its measurement grid
-// up front and executes it on the runner's worker pool; each measurement
-// deploys a private engine with the runner's base seed, so results are
-// schedule-independent.
+// Ablations compare a paper-documented design choice against its
+// alternative (DESIGN.md §5). Since the scenario refactor every ablation is
+// declarative: it states its measurement grid as []Cell (each cell carrying
+// the design choice as a Variants string resolved by DeployVariants) and
+// executes it through Runner.RunAll, exactly like the figures. That buys
+// the ablations the figures' execution contract for free: the singleflight
+// cell cache (cells shared with figures or between ablations — e.g. the
+// paper-default series — measure once per runner), stable hashed seeds
+// (results are schedule-independent, so -parallel N output is
+// byte-identical), plan-ordered progress lines, and Prewarm batching across
+// `-figure ablation-all`.
+//
+// Behavior note: moving the ablations onto the hashed per-cell seed scheme
+// (seed = hash(Cfg.Seed, cell key, rep), replacing the fixed Cfg.Seed the
+// old closure-built variant runner used) shifted every ablation's numbers
+// once, the same one-time shift the figures took in PR 2.
+
+// ablationSpec declares one ablation: its full cell grid (for planning)
+// and the figure assembly (pure cache reads after RunAll).
+type ablationSpec struct {
+	id    string
+	cells func(r *Runner) []Cell
+	build func(r *Runner) (Figure, error)
+}
+
+// ablationSpecs lists every ablation in display order.
+var ablationSpecs = []ablationSpec{
+	{"ablation-cassandra-tokens", (*Runner).cellsCassandraTokens, (*Runner).buildCassandraTokens},
+	{"ablation-cassandra-commitlog", (*Runner).cellsCassandraCommitlog, (*Runner).buildCassandraCommitlog},
+	{"ablation-cassandra-replication", (*Runner).cellsCassandraReplication, (*Runner).buildCassandraReplication},
+	{"ablation-cassandra-compression", (*Runner).cellsCassandraCompression, (*Runner).buildCassandraCompression},
+	{"ablation-connections", (*Runner).cellsConnections, (*Runner).buildConnections},
+	{"ablation-hbase-autoflush", (*Runner).cellsHBaseAutoflush, (*Runner).buildHBaseAutoflush},
+	{"ablation-mysql-binlog", (*Runner).cellsMySQLBinlog, (*Runner).buildMySQLBinlog},
+	{"ablation-redis-sharding", (*Runner).cellsRedisSharding, (*Runner).buildRedisSharding},
+	{"ablation-voltdb-async", (*Runner).cellsVoltDBAsync, (*Runner).buildVoltDBAsync},
+}
+
+// AblationOrder lists ablation IDs in display order.
+var AblationOrder = func() []string {
+	ids := make([]string, len(ablationSpecs))
+	for i, s := range ablationSpecs {
+		ids[i] = s.id
+	}
+	return ids
+}()
+
+func ablationSpecFor(id string) (ablationSpec, bool) {
+	for _, s := range ablationSpecs {
+		if s.id == id {
+			return s, true
+		}
+	}
+	return ablationSpec{}, false
+}
+
+// AblationCellsFor returns every cell the named ablation measures, nil for
+// unknown names. Like CellsFor, the grid is complete: generating the
+// ablation after RunAll(AblationCellsFor(id)) executes zero extra cells.
+func (r *Runner) AblationCellsFor(id string) []Cell {
+	spec, ok := ablationSpecFor(id)
+	if !ok {
+		return nil
+	}
+	return spec.cells(r)
+}
+
+// Ablations maps ablation IDs to their generators. Each generator plans
+// its grid, executes it on the worker pool, and assembles the figure from
+// the warm cache.
 func (r *Runner) Ablations() map[string]func() (Figure, error) {
-	return map[string]func() (Figure, error){
-		"ablation-cassandra-tokens":      r.AblationCassandraTokens,
-		"ablation-redis-sharding":        r.AblationRedisSharding,
-		"ablation-mysql-binlog":          r.AblationMySQLBinlog,
-		"ablation-hbase-autoflush":       r.AblationHBaseAutoflush,
-		"ablation-voltdb-async":          r.AblationVoltDBAsync,
-		"ablation-cassandra-commitlog":   r.AblationCassandraCommitlog,
-		"ablation-cassandra-replication": r.AblationCassandraReplication,
-		"ablation-cassandra-compression": r.AblationCassandraCompression,
-		"ablation-connections":           r.AblationConnections,
+	out := make(map[string]func() (Figure, error), len(ablationSpecs))
+	for _, spec := range ablationSpecs {
+		spec := spec
+		out[spec.id] = func() (Figure, error) {
+			if err := r.RunAll(spec.cells(r)); err != nil {
+				return Figure{}, fmt.Errorf("%s: %w", spec.id, err)
+			}
+			return spec.build(r)
+		}
 	}
+	return out
 }
 
-// measureVariant loads and runs one custom deployment, returning its cell
-// result. It builds a private engine/cluster/store, so concurrent variant
-// measurements share no state.
-func (r *Runner) measureVariant(sys System, nodes int, workload string, build func(*cluster.Cluster) store.Store) (CellResult, error) {
-	wl, err := ycsb.WorkloadByName(workload)
-	if err != nil {
-		return CellResult{}, err
+// variantSeries assembles one figure series from cached cells: X from xs,
+// Y through m.
+func (r *Runner) variantSeries(label string, cells []Cell, xs []float64, m metric) (Series, error) {
+	s := Series{Label: label}
+	for i, c := range cells {
+		res, err := r.Run(c)
+		if err != nil {
+			return Series{}, fmt.Errorf("cell %s: %w", r.key(c), err)
+		}
+		s.X = append(s.X, xs[i])
+		s.Y = append(s.Y, m(res))
 	}
-	e := sim.NewEngine(r.Cfg.Seed)
-	c := cluster.New(e, cluster.ClusterM(nodes).Scale(r.Cfg.Scale))
-	s := build(c)
-	records := int64(float64(r.Cfg.RecordsPerNode*int64(nodes)) * r.Cfg.Scale)
-	if err := ycsb.Load(s, records); err != nil {
-		return CellResult{}, err
-	}
-	res, err := ycsb.Run(e, ycsb.RunConfig{
-		Store:          s,
-		Workload:       wl,
-		Clients:        Conns(sys, nodes, false),
-		InitialRecords: records,
-		Warmup:         r.Cfg.Warmup,
-		Measure:        r.Cfg.Measure,
-	})
-	if err != nil {
-		return CellResult{}, err
-	}
-	return CellResult{
-		Throughput:          res.Throughput(),
-		ReadLat:             res.MeanLatency(0),
-		WriteLat:            res.MeanLatency(1),
-		ScanLat:             res.MeanLatency(3),
-		Ops:                 res.Ops(),
-		Errors:              res.Errors(),
-		DiskBytesPaperScale: float64(s.DiskUsage()) / r.Cfg.Scale,
-	}, nil
+	return s, nil
 }
 
-// variantJob is one planned measurement in an ablation grid: a (series,
-// x) coordinate plus the deployment to measure there.
-type variantJob struct {
-	series int // index into the figure's series
-	x      float64
-	sys    System
-	nodes  int
-	wl     string
-	build  func(*cluster.Cluster) store.Store
+// nodeGrid builds one (cells, xs) sweep over the configured node counts
+// (filtered by keep) for a fixed workload and variant combo.
+func (r *Runner) nodeGrid(sys System, wl string, variants string, keep func(int) bool) ([]Cell, []float64) {
+	var cells []Cell
+	var xs []float64
+	for _, n := range r.Cfg.NodeCounts {
+		if keep != nil && !keep(n) {
+			continue
+		}
+		cells = append(cells, Cell{System: sys, Nodes: n, Workload: wl, Variants: variants})
+		xs = append(xs, float64(n))
+	}
+	return cells, xs
 }
 
-// runVariantGrid executes jobs on the worker pool and appends each result
-// to its series through yval, preserving declaration order.
-func (r *Runner) runVariantGrid(fig *Figure, jobs []variantJob, yval func(CellResult) float64) error {
-	results, err := parallelMap(len(jobs), r.workers(), func(i int) (CellResult, error) {
-		j := jobs[i]
-		return r.measureVariant(j.sys, j.nodes, j.wl, j.build)
-	})
-	if err != nil {
-		return err
-	}
-	for i, j := range jobs {
-		s := &fig.Series[j.series]
-		s.X = append(s.X, j.x)
-		s.Y = append(s.Y, yval(results[i]))
-	}
-	return nil
+// --- Cassandra: optimal vs random token assignment (§6) ---
+
+// tokenVariants: random tokens "frequently resulted in a highly unbalanced
+// workload"; placement is moot on one node.
+var tokenVariants = []struct{ label, variants string }{
+	{"optimal-tokens", ""},
+	{"random-tokens", "tokens=random"},
 }
 
-// AblationCassandraTokens compares optimal vs random token assignment
-// (§6: random tokens "frequently resulted in a highly unbalanced workload").
-func (r *Runner) AblationCassandraTokens() (Figure, error) {
+func (r *Runner) cellsCassandraTokens() []Cell {
+	var cells []Cell
+	for _, v := range tokenVariants {
+		grid, _ := r.nodeGrid(Cassandra, "R", v.variants, func(n int) bool { return n > 1 })
+		cells = append(cells, grid...)
+	}
+	return cells
+}
+
+func (r *Runner) buildCassandraTokens() (Figure, error) {
 	fig := Figure{ID: "ablation-cassandra-tokens",
 		Title: "Cassandra: optimal vs random token assignment (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
-	var jobs []variantJob
-	for si, variant := range []struct {
-		label  string
-		random bool
-	}{{"optimal-tokens", false}, {"random-tokens", true}} {
-		fig.Series = append(fig.Series, Series{Label: variant.label})
-		for _, n := range r.Cfg.NodeCounts {
-			if n == 1 {
-				continue // token placement is moot on one node
-			}
-			random := variant.random
-			jobs = append(jobs, variantJob{
-				series: si, x: float64(n), sys: Cassandra, nodes: n, wl: "R",
-				build: func(c *cluster.Cluster) store.Store {
-					return cassandra.New(c, cassandra.Options{
-						RandomTokens:       random,
-						MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-					})
-				},
-			})
+	for _, v := range tokenVariants {
+		cells, xs := r.nodeGrid(Cassandra, "R", v.variants, func(n int) bool { return n > 1 })
+		s, err := r.variantSeries(v.label, cells, xs, throughputMetric)
+		if err != nil {
+			return Figure{}, err
 		}
-	}
-	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
-		return Figure{}, err
+		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil
 }
 
-// AblationRedisSharding compares the Jedis ring against balanced hash-mod
-// sharding (§5.1: "the data distribution is unbalanced").
-func (r *Runner) AblationRedisSharding() (Figure, error) {
-	fig := Figure{ID: "ablation-redis-sharding",
-		Title: "Redis: Jedis ring vs balanced sharding (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
-	var jobs []variantJob
-	for si, variant := range []struct {
-		label    string
-		balanced bool
-	}{{"jedis-ring", false}, {"balanced", true}} {
-		fig.Series = append(fig.Series, Series{Label: variant.label})
-		for _, n := range r.Cfg.NodeCounts {
-			balanced := variant.balanced
-			jobs = append(jobs, variantJob{
-				series: si, x: float64(n), sys: Redis, nodes: n, wl: "R",
-				build: func(c *cluster.Cluster) store.Store {
-					return redis.New(c, redis.Options{Balanced: balanced})
-				},
-			})
-		}
+// --- Cassandra: commit log batch window vs write latency ---
+
+// commitlogWindowsMs sweeps the batch group-commit window writers wait for,
+// isolating the source of Cassandra's high write latency in the
+// reproduction.
+var commitlogWindowsMs = []int{2, 5, 10, 18, 30}
+
+func (r *Runner) commitlogGrid() ([]Cell, []float64) {
+	var cells []Cell
+	var xs []float64
+	for _, ms := range commitlogWindowsMs {
+		cells = append(cells, Cell{System: Cassandra, Nodes: 4, Workload: "RW",
+			Variants: fmt.Sprintf("commitlog=%d", ms)})
+		xs = append(xs, float64(ms))
 	}
-	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
-		return Figure{}, err
-	}
-	return fig, nil
+	return cells, xs
 }
 
-// AblationMySQLBinlog compares disk usage with and without the binary log
-// (§5.7: "without this feature the disk usage is essentially reduced by
-// half").
-func (r *Runner) AblationMySQLBinlog() (Figure, error) {
-	fig := Figure{ID: "ablation-mysql-binlog",
-		Title: "MySQL: disk usage with and without binary log", XLabel: "nodes", YLabel: "GB (paper scale)"}
-	variants := []struct {
-		label  string
-		binlog bool
-	}{{"binlog-on", true}, {"binlog-off", false}}
-	type job struct {
-		series int
-		n      int
-		binlog bool
-	}
-	var jobs []job
-	for si, variant := range variants {
-		fig.Series = append(fig.Series, Series{Label: variant.label})
-		for _, n := range r.Cfg.NodeCounts {
-			jobs = append(jobs, job{series: si, n: n, binlog: variant.binlog})
-		}
-	}
-	disks, err := parallelMap(len(jobs), r.workers(), func(i int) (float64, error) {
-		j := jobs[i]
-		e := sim.NewEngine(r.Cfg.Seed)
-		c := cluster.New(e, cluster.ClusterM(j.n).Scale(r.Cfg.Scale))
-		st := mysql.New(c, mysql.Options{BinLog: j.binlog})
-		records := int64(float64(r.Cfg.RecordsPerNode*int64(j.n)) * r.Cfg.Scale)
-		if err := ycsb.Load(st, records); err != nil {
-			return 0, err
-		}
-		return float64(st.DiskUsage()) / r.Cfg.Scale / 1e9, nil
-	})
-	if err != nil {
-		return Figure{}, err
-	}
-	for i, j := range jobs {
-		s := &fig.Series[j.series]
-		s.X = append(s.X, float64(j.n))
-		s.Y = append(s.Y, disks[i])
-	}
-	return fig, nil
+func (r *Runner) cellsCassandraCommitlog() []Cell {
+	cells, _ := r.commitlogGrid()
+	return cells
 }
 
-// AblationHBaseAutoflush compares the client write buffer (deferred flush)
-// against per-put RPCs on the write-heavy workload.
-func (r *Runner) AblationHBaseAutoflush() (Figure, error) {
-	fig := Figure{ID: "ablation-hbase-autoflush",
-		Title: "HBase: client write buffer vs autoflush (Workload W)", XLabel: "nodes", YLabel: "ops/sec"}
-	var jobs []variantJob
-	for si, variant := range []struct {
-		label     string
-		autoflush bool
-	}{{"write-buffer", false}, {"autoflush", true}} {
-		fig.Series = append(fig.Series, Series{Label: variant.label})
-		for _, n := range r.Cfg.NodeCounts {
-			autoflush := variant.autoflush
-			jobs = append(jobs, variantJob{
-				series: si, x: float64(n), sys: HBase, nodes: n, wl: "W",
-				build: func(c *cluster.Cluster) store.Store {
-					return hbase.New(c, hbase.Options{
-						AutoFlush:          autoflush,
-						MemstoreFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-					})
-				},
-			})
-		}
-	}
-	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
-		return Figure{}, err
-	}
-	return fig, nil
-}
-
-// AblationVoltDBAsync compares the synchronous client the paper used with
-// VoltDB's asynchronous API (§6: Hugg's asynchronous benchmark "achieved a
-// speed-up with a fixed sized database", unlike the paper).
-func (r *Runner) AblationVoltDBAsync() (Figure, error) {
-	fig := Figure{ID: "ablation-voltdb-async",
-		Title: "VoltDB: synchronous vs asynchronous client (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
-	var jobs []variantJob
-	for si, variant := range []struct {
-		label string
-		async bool
-	}{{"sync-client", false}, {"async-client", true}} {
-		fig.Series = append(fig.Series, Series{Label: variant.label})
-		for _, n := range r.Cfg.NodeCounts {
-			async := variant.async
-			jobs = append(jobs, variantJob{
-				series: si, x: float64(n), sys: VoltDB, nodes: n, wl: "R",
-				build: func(c *cluster.Cluster) store.Store {
-					return voltdb.New(c, voltdb.Options{Async: async})
-				},
-			})
-		}
-	}
-	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
-		return Figure{}, err
-	}
-	return fig, nil
-}
-
-// AblationCassandraCommitlog compares batch (writers wait for the group
-// commit) against periodic commit-log mode, isolating the source of
-// Cassandra's high write latency in the reproduction.
-func (r *Runner) AblationCassandraCommitlog() (Figure, error) {
+func (r *Runner) buildCassandraCommitlog() (Figure, error) {
 	fig := Figure{ID: "ablation-cassandra-commitlog",
 		Title:  "Cassandra: commit log batch window vs write latency (Workload RW, 4 nodes)",
 		XLabel: "window ms", YLabel: "write latency ms"}
-	fig.Series = append(fig.Series, Series{Label: "write-latency"})
-	var jobs []variantJob
-	for _, windowMs := range []int{2, 5, 10, 18, 30} {
-		window := sim.Time(windowMs) * sim.Millisecond
-		jobs = append(jobs, variantJob{
-			series: 0, x: float64(windowMs), sys: Cassandra, nodes: 4, wl: "RW",
-			build: func(c *cluster.Cluster) store.Store {
-				return cassandra.New(c, cassandra.Options{
-					CommitLogWindow:    window,
-					MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-				})
-			},
-		})
-	}
-	if err := r.runVariantGrid(&fig, jobs, writeLatMetric); err != nil {
+	cells, xs := r.commitlogGrid()
+	s, err := r.variantSeries("write-latency", cells, xs, writeLatMetric)
+	if err != nil {
 		return Figure{}, err
 	}
+	fig.Series = append(fig.Series, s)
 	return fig, nil
 }
 
-// AblationCassandraReplication measures the throughput cost of replication
-// (the paper's §8 future work) on Workload W: RF=1 vs RF=3 at consistency
-// ONE and ALL.
-func (r *Runner) AblationCassandraReplication() (Figure, error) {
+// --- Cassandra: replication factor vs throughput (§8 future work) ---
+
+// replicationVariants: RF=1 (the paper's unreplicated run, so the default
+// deployment) vs RF=3 at consistency ONE and ALL; RF=3 needs at least 3
+// nodes for distinct replicas.
+var replicationVariants = []struct{ label, variants string }{
+	{"rf1", ""},
+	{"rf3-one", "replication=3,consistency=one"},
+	{"rf3-all", "replication=3,consistency=all"},
+}
+
+func (r *Runner) cellsCassandraReplication() []Cell {
+	var cells []Cell
+	for _, v := range replicationVariants {
+		grid, _ := r.nodeGrid(Cassandra, "W", v.variants, func(n int) bool { return n >= 3 })
+		cells = append(cells, grid...)
+	}
+	return cells
+}
+
+func (r *Runner) buildCassandraReplication() (Figure, error) {
 	fig := Figure{ID: "ablation-cassandra-replication",
 		Title: "Cassandra: replication factor vs throughput (Workload W)", XLabel: "nodes", YLabel: "ops/sec"}
-	variants := []struct {
-		label  string
-		rf, cl int
-	}{
-		{"rf1", 1, 1},
-		{"rf3-one", 3, 1},
-		{"rf3-all", 3, 3},
-	}
-	var jobs []variantJob
-	for si, v := range variants {
-		fig.Series = append(fig.Series, Series{Label: v.label})
-		for _, n := range r.Cfg.NodeCounts {
-			if n < 3 {
-				continue // RF=3 needs at least 3 nodes for distinct replicas
-			}
-			rf, cl := v.rf, v.cl
-			jobs = append(jobs, variantJob{
-				series: si, x: float64(n), sys: Cassandra, nodes: n, wl: "W",
-				build: func(c *cluster.Cluster) store.Store {
-					return cassandra.New(c, cassandra.Options{
-						ReplicationFactor:  rf,
-						WriteConsistency:   cl,
-						MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-					})
-				},
-			})
+	for _, v := range replicationVariants {
+		cells, xs := r.nodeGrid(Cassandra, "W", v.variants, func(n int) bool { return n >= 3 })
+		s, err := r.variantSeries(v.label, cells, xs, throughputMetric)
+		if err != nil {
+			return Figure{}, err
 		}
-	}
-	if err := r.runVariantGrid(&fig, jobs, throughputMetric); err != nil {
-		return Figure{}, err
+		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil
 }
 
-// AblationCassandraCompression measures compression's disk savings against
-// its throughput cost (§5.7: "the disk usage can be reduced by using
-// compression which, however, will decrease the throughput").
-func (r *Runner) AblationCassandraCompression() (Figure, error) {
+// --- Cassandra: compression off vs on (§5.7) ---
+
+// compressionVariants: "the disk usage can be reduced by using compression
+// which, however, will decrease the throughput". Each variant plots a
+// throughput and a disk series from the same cells.
+var compressionVariants = []struct{ label, variants string }{
+	{"off", ""},
+	{"on", "compression=on"},
+}
+
+func (r *Runner) cellsCassandraCompression() []Cell {
+	var cells []Cell
+	for _, v := range compressionVariants {
+		grid, _ := r.nodeGrid(Cassandra, "R", v.variants, nil)
+		cells = append(cells, grid...)
+	}
+	return cells
+}
+
+func (r *Runner) buildCassandraCompression() (Figure, error) {
 	fig := Figure{ID: "ablation-cassandra-compression",
 		Title: "Cassandra: compression off vs on (Workload R, disk + throughput)", XLabel: "nodes",
 		YLabel: "ops/sec (tput series) / GB (disk series)"}
-	variants := []struct {
-		label    string
-		compress bool
-	}{{"off", false}, {"on", true}}
-	type job struct {
-		tputSeries int // disk series is tputSeries+1
-		n          int
-		compress   bool
-	}
-	var jobs []job
-	for _, variant := range variants {
-		si := len(fig.Series)
-		fig.Series = append(fig.Series,
-			Series{Label: "tput-" + variant.label},
-			Series{Label: "disk-" + variant.label})
-		for _, n := range r.Cfg.NodeCounts {
-			jobs = append(jobs, job{tputSeries: si, n: n, compress: variant.compress})
+	for _, v := range compressionVariants {
+		cells, xs := r.nodeGrid(Cassandra, "R", v.variants, nil)
+		tput, err := r.variantSeries("tput-"+v.label, cells, xs, throughputMetric)
+		if err != nil {
+			return Figure{}, err
 		}
-	}
-	results, err := parallelMap(len(jobs), r.workers(), func(i int) (CellResult, error) {
-		j := jobs[i]
-		return r.measureVariant(Cassandra, j.n, "R", func(c *cluster.Cluster) store.Store {
-			return cassandra.New(c, cassandra.Options{
-				Compression:        j.compress,
-				MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale),
-			})
-		})
-	})
-	if err != nil {
-		return Figure{}, err
-	}
-	for i, j := range jobs {
-		tput, disk := &fig.Series[j.tputSeries], &fig.Series[j.tputSeries+1]
-		tput.X = append(tput.X, float64(j.n))
-		tput.Y = append(tput.Y, results[i].Throughput)
-		disk.X = append(disk.X, float64(j.n))
-		disk.Y = append(disk.Y, results[i].DiskBytesPaperScale/1e9)
+		disk, err := r.variantSeries("disk-"+v.label, cells, xs,
+			func(res CellResult) float64 { return res.DiskBytesPaperScale / 1e9 })
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, tput, disk)
 	}
 	return fig, nil
 }
 
-// AblationConnections sweeps the client connection count per node on a
-// 4-node Cassandra cluster (Workload R), reproducing the paper's tuning
-// observation (§8): too few connections leave the servers underutilized,
-// too many congest them and inflate latency without throughput gains.
-func (r *Runner) AblationConnections() (Figure, error) {
+// --- Client connections per node (§8 tuning observation) ---
+
+// connsPerNode sweeps the client connection count on a 4-node Cassandra
+// cluster: too few connections leave the servers underutilized, too many
+// congest them and inflate latency without throughput gains.
+var connsPerNode = []int{8, 32, 64, 128, 256, 512}
+
+func (r *Runner) connectionsGrid() ([]Cell, []float64) {
+	var cells []Cell
+	var xs []float64
+	for _, perNode := range connsPerNode {
+		cells = append(cells, Cell{System: Cassandra, Nodes: 4, Workload: "R",
+			Variants: fmt.Sprintf("conns=%d", perNode)})
+		xs = append(xs, float64(perNode))
+	}
+	return cells, xs
+}
+
+func (r *Runner) cellsConnections() []Cell {
+	cells, _ := r.connectionsGrid()
+	return cells
+}
+
+func (r *Runner) buildConnections() (Figure, error) {
 	fig := Figure{ID: "ablation-connections",
 		Title:  "Connections per node vs throughput and read latency (Cassandra, 4 nodes, Workload R)",
 		XLabel: "conns/node", YLabel: "ops/sec (tput) / ms (latency)"}
-	perNodes := []int{8, 32, 64, 128, 256, 512}
-	type point struct{ tput, latMs float64 }
-	results, err := parallelMap(len(perNodes), r.workers(), func(i int) (point, error) {
-		perNode := perNodes[i]
-		wl, err := ycsb.WorkloadByName("R")
-		if err != nil {
-			return point{}, err
-		}
-		e := sim.NewEngine(r.Cfg.Seed)
-		c := cluster.New(e, cluster.ClusterM(4).Scale(r.Cfg.Scale))
-		s := cassandra.New(c, cassandra.Options{MemtableFlushBytes: scaleBytes(16<<20, r.Cfg.Scale)})
-		records := int64(float64(r.Cfg.RecordsPerNode*4) * r.Cfg.Scale)
-		if err := ycsb.Load(s, records); err != nil {
-			return point{}, err
-		}
-		res, err := ycsb.Run(e, ycsb.RunConfig{
-			Store: s, Workload: wl, Clients: perNode * 4,
-			InitialRecords: records, Warmup: r.Cfg.Warmup, Measure: r.Cfg.Measure,
-		})
-		if err != nil {
-			return point{}, err
-		}
-		return point{
-			tput:  res.Throughput(),
-			latMs: float64(res.MeanLatency(0)) / float64(sim.Millisecond),
-		}, nil
-	})
+	cells, xs := r.connectionsGrid()
+	tput, err := r.variantSeries("throughput", cells, xs, throughputMetric)
 	if err != nil {
 		return Figure{}, err
 	}
-	tput := Series{Label: "throughput"}
-	lat := Series{Label: "read-latency-ms"}
-	for i, perNode := range perNodes {
-		tput.X = append(tput.X, float64(perNode))
-		tput.Y = append(tput.Y, results[i].tput)
-		lat.X = append(lat.X, float64(perNode))
-		lat.Y = append(lat.Y, results[i].latMs)
+	lat, err := r.variantSeries("read-latency-ms", cells, xs,
+		func(res CellResult) float64 { return float64(res.ReadLat) / float64(sim.Millisecond) })
+	if err != nil {
+		return Figure{}, err
 	}
 	fig.Series = append(fig.Series, tput, lat)
+	return fig, nil
+}
+
+// --- HBase: client write buffer vs autoflush ---
+
+// autoflushVariants compare the client write buffer (deferred flush)
+// against per-put RPCs on the write-heavy workload.
+var autoflushVariants = []struct{ label, variants string }{
+	{"write-buffer", ""},
+	{"autoflush", "autoflush=on"},
+}
+
+func (r *Runner) cellsHBaseAutoflush() []Cell {
+	var cells []Cell
+	for _, v := range autoflushVariants {
+		grid, _ := r.nodeGrid(HBase, "W", v.variants, nil)
+		cells = append(cells, grid...)
+	}
+	return cells
+}
+
+func (r *Runner) buildHBaseAutoflush() (Figure, error) {
+	fig := Figure{ID: "ablation-hbase-autoflush",
+		Title: "HBase: client write buffer vs autoflush (Workload W)", XLabel: "nodes", YLabel: "ops/sec"}
+	for _, v := range autoflushVariants {
+		cells, xs := r.nodeGrid(HBase, "W", v.variants, nil)
+		s, err := r.variantSeries(v.label, cells, xs, throughputMetric)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// --- MySQL: disk usage with and without the binary log (§5.7) ---
+
+// binlogVariants: "without this feature the disk usage is essentially
+// reduced by half". Disk usage needs no workload run, so the grid is
+// load-only cells.
+var binlogVariants = []struct{ label, variants string }{
+	{"binlog-on", ""},
+	{"binlog-off", "binlog=off"},
+}
+
+func (r *Runner) binlogGrid(variants string) ([]Cell, []float64) {
+	var cells []Cell
+	var xs []float64
+	for _, n := range r.Cfg.NodeCounts {
+		cells = append(cells, Cell{System: MySQL, Nodes: n, LoadOnly: true, Variants: variants})
+		xs = append(xs, float64(n))
+	}
+	return cells, xs
+}
+
+func (r *Runner) cellsMySQLBinlog() []Cell {
+	var cells []Cell
+	for _, v := range binlogVariants {
+		grid, _ := r.binlogGrid(v.variants)
+		cells = append(cells, grid...)
+	}
+	return cells
+}
+
+func (r *Runner) buildMySQLBinlog() (Figure, error) {
+	fig := Figure{ID: "ablation-mysql-binlog",
+		Title: "MySQL: disk usage with and without binary log", XLabel: "nodes", YLabel: "GB (paper scale)"}
+	for _, v := range binlogVariants {
+		cells, xs := r.binlogGrid(v.variants)
+		s, err := r.variantSeries(v.label, cells, xs,
+			func(res CellResult) float64 { return res.DiskBytesPaperScale / 1e9 })
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// --- Redis: Jedis ring vs balanced sharding (§5.1) ---
+
+// shardingVariants: with the Jedis ring "the data distribution is
+// unbalanced".
+var shardingVariants = []struct{ label, variants string }{
+	{"jedis-ring", ""},
+	{"balanced", "sharding=balanced"},
+}
+
+func (r *Runner) cellsRedisSharding() []Cell {
+	var cells []Cell
+	for _, v := range shardingVariants {
+		grid, _ := r.nodeGrid(Redis, "R", v.variants, nil)
+		cells = append(cells, grid...)
+	}
+	return cells
+}
+
+func (r *Runner) buildRedisSharding() (Figure, error) {
+	fig := Figure{ID: "ablation-redis-sharding",
+		Title: "Redis: Jedis ring vs balanced sharding (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
+	for _, v := range shardingVariants {
+		cells, xs := r.nodeGrid(Redis, "R", v.variants, nil)
+		s, err := r.variantSeries(v.label, cells, xs, throughputMetric)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// --- VoltDB: synchronous vs asynchronous client (§6) ---
+
+// asyncVariants: Hugg's asynchronous benchmark "achieved a speed-up with a
+// fixed sized database", unlike the paper's synchronous client.
+var asyncVariants = []struct{ label, variants string }{
+	{"sync-client", ""},
+	{"async-client", "async=on"},
+}
+
+func (r *Runner) cellsVoltDBAsync() []Cell {
+	var cells []Cell
+	for _, v := range asyncVariants {
+		grid, _ := r.nodeGrid(VoltDB, "R", v.variants, nil)
+		cells = append(cells, grid...)
+	}
+	return cells
+}
+
+func (r *Runner) buildVoltDBAsync() (Figure, error) {
+	fig := Figure{ID: "ablation-voltdb-async",
+		Title: "VoltDB: synchronous vs asynchronous client (Workload R)", XLabel: "nodes", YLabel: "ops/sec"}
+	for _, v := range asyncVariants {
+		cells, xs := r.nodeGrid(VoltDB, "R", v.variants, nil)
+		s, err := r.variantSeries(v.label, cells, xs, throughputMetric)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
 	return fig, nil
 }

@@ -35,29 +35,24 @@ type NodeUtilization struct {
 // Explain runs one cell (uncached — it needs the live deployment) and
 // returns the utilization breakdown.
 func (r *Runner) Explain(c Cell) (*Explanation, error) {
-	wl, err := ycsb.WorkloadByName(c.Workload)
+	rv, err := r.resolve(c)
 	if err != nil {
 		return nil, err
 	}
-	if !SupportsWorkload(c.System, wl.HasScans()) {
-		return nil, fmt.Errorf("harness: %s does not support workload %s", c.System, c.Workload)
-	}
-	spec := clusterSpecFor(c, r.Cfg)
-	records := recordsFor(c, r.Cfg)
 	// Same seed derivation as Run's first repetition, so the explanation
 	// describes the exact run that produced the cached cell result.
-	dep, err := Deploy(r.cellSeed(r.key(c), 0), c.System, spec, r.Cfg.Scale)
+	dep, err := DeployVariants(r.cellSeed(r.key(c), 0), c.System, rv.spec, r.Cfg.Scale, c.Variants)
 	if err != nil {
 		return nil, err
 	}
-	if err := ycsb.Load(dep.Store, records); err != nil {
+	if err := ycsb.LoadSized(dep.Store, rv.records, rv.wl.FieldSize()); err != nil {
 		return nil, err
 	}
 	res, err := ycsb.Run(dep.Engine, ycsb.RunConfig{
 		Store:          dep.Store,
-		Workload:       wl,
-		Clients:        Conns(c.System, c.Nodes, c.ClusterD),
-		InitialRecords: records,
+		Workload:       rv.wl,
+		Clients:        rv.clients,
+		InitialRecords: rv.records,
 		Warmup:         r.Cfg.Warmup,
 		Measure:        r.Cfg.Measure,
 	})
@@ -89,7 +84,10 @@ func (r *Runner) Explain(c Cell) (*Explanation, error) {
 // Render formats the explanation as a text report.
 func (e *Explanation) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s x%d, workload %s", e.Cell.System, e.Cell.Nodes, e.Cell.Workload)
+	fmt.Fprintf(&b, "%s x%d, workload %s", e.Cell.System, e.Cell.Nodes, e.Cell.workloadName())
+	if e.Cell.Variants != "" {
+		fmt.Fprintf(&b, " [%s]", e.Cell.Variants)
+	}
 	if e.Cell.ClusterD {
 		b.WriteString(" (Cluster D)")
 	}
@@ -128,8 +126,14 @@ func (e *Explanation) Render() string {
 }
 
 // clusterSpecFor centralizes the cell-to-hardware mapping shared with the
-// runner.
+// runner: an explicit Spec override wins, then the ClusterD flag, then the
+// paper's memory-bound Cluster M.
 func clusterSpecFor(c Cell, cfg Config) cluster.Spec {
+	if c.Spec.Name != "" {
+		s := c.Spec
+		s.Nodes = c.Nodes
+		return s
+	}
 	if c.ClusterD {
 		return cluster.ClusterD(c.Nodes)
 	}

@@ -25,12 +25,20 @@ type Figure struct {
 }
 
 // Render formats the figure as an aligned text table (systems as columns).
+// Column width tracks the longest series label, so scenario series (whose
+// labels carry workload and variant names) stay aligned.
 func (f Figure) Render() string {
+	colWidth := 16
+	for _, s := range f.Series {
+		if w := len(s.Label) + 2; w > colWidth {
+			colWidth = w
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
 	fmt.Fprintf(&b, "%-12s", f.XLabel)
 	for _, s := range f.Series {
-		fmt.Fprintf(&b, "%16s", s.Label)
+		fmt.Fprintf(&b, "%*s", colWidth, s.Label)
 	}
 	fmt.Fprintf(&b, "    (%s)\n", f.YLabel)
 	// Collect the union of X values.
@@ -51,13 +59,13 @@ func (f Figure) Render() string {
 			found := false
 			for i := range s.X {
 				if s.X[i] == x {
-					fmt.Fprintf(&b, "%16.4g", s.Y[i])
+					fmt.Fprintf(&b, "%*.4g", colWidth, s.Y[i])
 					found = true
 					break
 				}
 			}
 			if !found {
-				fmt.Fprintf(&b, "%16s", "-")
+				fmt.Fprintf(&b, "%*s", colWidth, "-")
 			}
 		}
 		b.WriteByte('\n')

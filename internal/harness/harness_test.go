@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/ycsb"
 )
 
 // quickRunner is shared across tests: cells are cached, so shape assertions
@@ -84,11 +85,18 @@ func TestConnsPolicy(t *testing.T) {
 }
 
 func TestSupportsWorkload(t *testing.T) {
-	if SupportsWorkload(Voldemort, true) {
+	if SupportsWorkload(Voldemort, ycsb.WorkloadRS) {
 		t.Fatal("voldemort must not support scan workloads")
 	}
-	if !SupportsWorkload(Voldemort, false) || !SupportsWorkload(Cassandra, true) {
+	if !SupportsWorkload(Voldemort, ycsb.WorkloadR) || !SupportsWorkload(Cassandra, ycsb.WorkloadRS) {
 		t.Fatal("workload support matrix wrong")
+	}
+	updates := ycsb.Workload{Name: "U", ReadProp: 0.5, UpdateProp: 0.5}
+	if SupportsWorkload(MySQL, updates) || SupportsWorkload(Voldemort, updates) {
+		t.Fatal("b-tree models must reject update mixes (insert-calibrated write path)")
+	}
+	if !SupportsWorkload(Cassandra, updates) || !SupportsWorkload(Redis, updates) {
+		t.Fatal("upsert/overwrite models must accept update mixes")
 	}
 }
 

@@ -113,17 +113,23 @@ func (r *Runner) CellsFor(id string) []Cell {
 	return cells
 }
 
-// Prewarm plans and executes the given figures' cells through the worker
-// pool in one batch, deduplicating cells shared between figures (e.g.
-// Figs 3/4/5 plot the same runs); subsequent figure generation then reads
-// entirely from the warm cache.
+// Prewarm plans and executes the given figures' and ablations' cells
+// through the worker pool in one batch, deduplicating cells shared between
+// them (e.g. Figs 3/4/5 plot the same runs, and an ablation's
+// paper-default series reuses figure cells); subsequent figure or ablation
+// generation then reads entirely from the warm cache.
 func (r *Runner) Prewarm(ids ...string) error {
 	var cells []Cell
 	for _, id := range ids {
-		if _, ok := specFor(id); !ok {
-			return fmt.Errorf("harness: unknown figure %q", id)
+		if _, ok := specFor(id); ok {
+			cells = append(cells, r.CellsFor(id)...)
+			continue
 		}
-		cells = append(cells, r.CellsFor(id)...)
+		if _, ok := ablationSpecFor(id); ok {
+			cells = append(cells, r.AblationCellsFor(id)...)
+			continue
+		}
+		return fmt.Errorf("harness: unknown figure %q", id)
 	}
 	return r.RunAll(cells)
 }

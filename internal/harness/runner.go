@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/ycsb"
 )
 
@@ -74,18 +75,96 @@ func Quick() Config {
 	}.Defaults()
 }
 
-// Cell identifies one experiment data point.
+// Cell identifies one experiment data point: a full declarative scenario
+// spec. Paper figures use the named-preset subset (System, Nodes, Workload,
+// ClusterD); ablations add Variants; user scenarios may also inline a
+// custom workload mix (Mix) or override the hardware (Spec). Cell is a
+// comparable value type — every field is scalar — so results can be
+// compared across runners and cells keyed without allocation tricks.
 type Cell struct {
-	System   System
-	Nodes    int
+	System System
+	Nodes  int
+	// Workload names a Table 1 preset. Ignored when Mix is set.
 	Workload string
+	// Mix, when its Name is non-empty, is an inline workload spec
+	// (arbitrary read/scan/insert/update mix, scan length, key
+	// distribution, record size) used instead of the Workload preset
+	// lookup. Preset-identical mixes should use Workload so the cell
+	// shares its cache entry and seed with the figures.
+	Mix      ycsb.Workload
 	ClusterD bool
+	// Spec, when its Name is non-empty, overrides the cell's hardware
+	// (cluster.ClusterM/ClusterD otherwise); Spec.Nodes is ignored in
+	// favor of Cell.Nodes. Custom-spec cells load RecordsPerNode records
+	// per node, like Cluster M.
+	Spec cluster.Spec
+	// Variants is an ordered comma-separated list of key=value deployment
+	// options (see the variant vocabulary in systems.go), e.g.
+	// "replication=3,consistency=all". Empty means the paper's defaults.
+	Variants string
 	// TargetFraction throttles to a share of the cell's max throughput
 	// (0 = unthrottled); used by the bounded-throughput experiment.
 	TargetFraction float64
 	// LoadOnly deploys and loads the cell without running a workload
-	// (the disk-usage experiment, Fig 17). Workload is ignored.
+	// (the disk-usage experiment, Fig 17). Workload/Mix then only select
+	// the record size (default 75-byte records when unset).
 	LoadOnly bool
+}
+
+// workload resolves the cell's operation mix: the inline Mix when set,
+// otherwise the named Table 1 preset.
+func (c Cell) workload() (ycsb.Workload, error) {
+	if c.Mix.Name != "" {
+		if err := c.Mix.Validate(); err != nil {
+			return ycsb.Workload{}, err
+		}
+		return c.Mix, nil
+	}
+	return ycsb.WorkloadByName(c.Workload)
+}
+
+// workloadName is the mix's display name.
+func (c Cell) workloadName() string {
+	if c.Mix.Name != "" {
+		return c.Mix.Name
+	}
+	return c.Workload
+}
+
+// workloadKey is the workload's cache-key fragment. Presets key by name
+// (so pre-scenario cell keys — and with them every figure seed — are
+// unchanged); inline mixes key by every parameter at full precision (%g),
+// because a rounded key would alias two different experiments into one
+// cache slot and one seed (the PR-2 TargetFraction lesson).
+func (c Cell) workloadKey() string {
+	if c.Mix.Name == "" {
+		return c.Workload
+	}
+	m := c.Mix
+	return fmt.Sprintf("%s(r=%g,s=%g,i=%g,u=%g,len=%d,dist=%d,fb=%d)",
+		m.Name, m.ReadProp, m.ScanProp, m.InsertProp, m.UpdateProp, m.ScanLength, int(m.Chooser), m.FieldBytes)
+}
+
+// loadFieldSize is the record field size a LoadOnly cell loads: the
+// workload's when one is set (only the record shape matters for a load),
+// else the paper default. Unresolvable workloads fall back to the default;
+// the error surfaces when the cell runs.
+func (c Cell) loadFieldSize() int {
+	if c.Workload == "" && c.Mix.Name == "" {
+		return store.FieldBytes
+	}
+	wl, err := c.workload()
+	if err != nil {
+		return store.FieldBytes
+	}
+	return wl.FieldSize()
+}
+
+// specKey is the hardware override's cache-key fragment.
+func specKey(s cluster.Spec) string {
+	return fmt.Sprintf("%s(cores=%d,ram=%d,disks=%d,seek=%d,dmbps=%g,dbytes=%d,netlat=%d,netmbps=%g)",
+		s.Name, s.Node.Cores, s.Node.RAMBytes, s.Node.Disks, int64(s.Node.DiskSeek),
+		s.Node.DiskMBps, s.Node.DiskBytes, int64(s.Net.BaseLatency), s.Net.MBps)
 }
 
 // base returns the unthrottled cell a TargetFraction cell is normalized
@@ -159,14 +238,38 @@ func NewRunner(cfg Config) *Runner {
 }
 
 func (r *Runner) key(c Cell) string {
+	var k string
 	if c.LoadOnly {
-		return fmt.Sprintf("loadonly/%s/%d", c.System, c.Nodes)
+		// A load is fully determined by system, nodes, cluster, record
+		// size, and deployment variants — not by the operation mix — so
+		// the key deliberately omits the workload identity beyond its
+		// field size. A load-only scenario cell naming preset "R" (or any
+		// default-sized mix) therefore shares its cache entry and seed
+		// with the corresponding Fig 17 cell.
+		k = fmt.Sprintf("loadonly/%s/%d", c.System, c.Nodes)
+		if fb := c.loadFieldSize(); fb != store.FieldBytes {
+			k += fmt.Sprintf("/fb=%d", fb)
+		}
+		if c.ClusterD {
+			k += "/d=true"
+		}
+	} else {
+		// TargetFraction must print at full precision: rounding (e.g. %.2f)
+		// would collide a small fraction's key with its unthrottled base's,
+		// and resolving the base from inside the cell's own measurement would
+		// then wait forever on the cell's own singleflight slot.
+		k = fmt.Sprintf("%s/%d/%s/d=%v/f=%g", c.System, c.Nodes, c.workloadKey(), c.ClusterD, c.TargetFraction)
 	}
-	// TargetFraction must print at full precision: rounding (e.g. %.2f)
-	// would collide a small fraction's key with its unthrottled base's,
-	// and resolving the base from inside the cell's own measurement would
-	// then wait forever on the cell's own singleflight slot.
-	return fmt.Sprintf("%s/%d/%s/d=%v/f=%g", c.System, c.Nodes, c.Workload, c.ClusterD, c.TargetFraction)
+	// The scenario extensions append only when set, so every pre-scenario
+	// cell keeps its exact historical key — and therefore its seed and its
+	// figure numbers.
+	if c.Variants != "" {
+		k += "/v=" + c.Variants
+	}
+	if c.Spec.Name != "" {
+		k += "/hw=" + specKey(c.Spec)
+	}
+	return k
 }
 
 // cellSeed derives the engine seed for repetition rep of the cell
@@ -281,13 +384,43 @@ func (r *Runner) measure(c Cell, key string) (CellResult, error) {
 	return acc, nil
 }
 
+// resolved is a cell translated into concrete run inputs: the operation
+// mix, the hardware, the dataset size and the client count (after variant
+// overrides). Shared by run, loadOnly and Explain so every execution path
+// interprets a cell identically.
+type resolved struct {
+	wl      ycsb.Workload
+	spec    cluster.Spec
+	records int64
+	clients int
+}
+
+func (r *Runner) resolve(c Cell) (resolved, error) {
+	wl, err := c.workload()
+	if err != nil {
+		return resolved{}, err
+	}
+	if !SupportsWorkload(c.System, wl) {
+		return resolved{}, fmt.Errorf("harness: %s does not support workload %s", c.System, c.workloadName())
+	}
+	clients := Conns(c.System, c.Nodes, c.ClusterD)
+	if perNode, ok, err := variantInt(c.Variants, "conns"); err != nil {
+		return resolved{}, err
+	} else if ok {
+		clients = perNode * c.Nodes
+	}
+	return resolved{
+		wl:      wl,
+		spec:    clusterSpecFor(c, r.Cfg),
+		records: recordsFor(c, r.Cfg),
+		clients: clients,
+	}, nil
+}
+
 func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
-	wl, err := ycsb.WorkloadByName(c.Workload)
+	rv, err := r.resolve(c)
 	if err != nil {
 		return CellResult{}, err
-	}
-	if !SupportsWorkload(c.System, wl.HasScans()) {
-		return CellResult{}, fmt.Errorf("harness: %s does not support workload %s", c.System, c.Workload)
 	}
 
 	var target float64
@@ -299,21 +432,19 @@ func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
 		target = maxRes.Throughput * c.TargetFraction
 	}
 
-	spec := clusterSpecFor(c, r.Cfg)
-	records := recordsFor(c, r.Cfg)
-	dep, err := Deploy(r.cellSeed(key, rep), c.System, spec, r.Cfg.Scale)
+	dep, err := DeployVariants(r.cellSeed(key, rep), c.System, rv.spec, r.Cfg.Scale, c.Variants)
 	if err != nil {
 		return CellResult{}, err
 	}
-	if err := ycsb.Load(dep.Store, records); err != nil {
+	if err := ycsb.LoadSized(dep.Store, rv.records, rv.wl.FieldSize()); err != nil {
 		return CellResult{}, err
 	}
 	res, err := ycsb.Run(dep.Engine, ycsb.RunConfig{
 		Store:           dep.Store,
-		Workload:        wl,
-		Clients:         Conns(c.System, c.Nodes, c.ClusterD),
+		Workload:        rv.wl,
+		Clients:         rv.clients,
 		TargetOpsPerSec: target,
-		InitialRecords:  records,
+		InitialRecords:  rv.records,
 		Warmup:          r.Cfg.Warmup,
 		Measure:         r.Cfg.Measure,
 	})
@@ -333,15 +464,22 @@ func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
 	}, nil
 }
 
-// loadOnly deploys and loads without a workload run.
+// loadOnly deploys and loads without a workload run. The workload, when
+// set, only selects the record size.
 func (r *Runner) loadOnly(c Cell, key string) (CellResult, error) {
-	spec := cluster.ClusterM(c.Nodes)
-	records := int64(float64(r.Cfg.RecordsPerNode*int64(c.Nodes)) * r.Cfg.Scale)
-	dep, err := Deploy(r.cellSeed(key, 0), c.System, spec, r.Cfg.Scale)
+	fieldBytes := 0 // default record shape
+	if c.Workload != "" || c.Mix.Name != "" {
+		wl, err := c.workload()
+		if err != nil {
+			return CellResult{}, err
+		}
+		fieldBytes = wl.FieldSize()
+	}
+	dep, err := DeployVariants(r.cellSeed(key, 0), c.System, clusterSpecFor(c, r.Cfg), r.Cfg.Scale, c.Variants)
 	if err != nil {
 		return CellResult{}, err
 	}
-	if err := ycsb.Load(dep.Store, records); err != nil {
+	if err := ycsb.LoadSized(dep.Store, recordsFor(c, r.Cfg), fieldBytes); err != nil {
 		return CellResult{}, err
 	}
 	return CellResult{
@@ -351,12 +489,18 @@ func (r *Runner) loadOnly(c Cell, key string) (CellResult, error) {
 }
 
 func progressLine(c Cell, res CellResult) string {
+	var line string
 	if c.LoadOnly {
-		return fmt.Sprintf("%-10s n=%-2d load disk=%8.2fGB (paper scale)",
+		line = fmt.Sprintf("%-10s n=%-2d load disk=%8.2fGB (paper scale)",
 			c.System, c.Nodes, res.DiskBytesPaperScale/1e9)
+	} else {
+		line = fmt.Sprintf("%-10s n=%-2d %-4s tput=%9.0f ops/s read=%9v write=%9v scan=%9v err=%d",
+			c.System, c.Nodes, c.workloadName(), res.Throughput, res.ReadLat, res.WriteLat, res.ScanLat, res.Errors)
 	}
-	return fmt.Sprintf("%-10s n=%-2d %-4s tput=%9.0f ops/s read=%9v write=%9v scan=%9v err=%d",
-		c.System, c.Nodes, c.Workload, res.Throughput, res.ReadLat, res.WriteLat, res.ScanLat, res.Errors)
+	if c.Variants != "" {
+		line += " [" + c.Variants + "]"
+	}
+	return line
 }
 
 // RunAll executes cells on a pool of Workers goroutines. Duplicates are

@@ -1,0 +1,344 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ycsb"
+)
+
+// The scenario layer makes the paper's parameter space — systems ×
+// operation mixes × cluster sizes × tuning knobs — user-composable: a
+// Scenario is a declarative JSON grid that expands into the same Cell
+// values the figures and ablations plan, and executes through the same
+// seeded, cached, parallel Runner.RunAll path. Anything expressible as a
+// grid of cells (a paper figure, an ablation, or an experiment the paper
+// never ran) is one scenario file away; see examples/scenarios/.
+
+// ScenarioWorkload names a Table 1 preset (just "name": "R") or defines a
+// custom mix. A workload with any proportion set is a custom mix: its
+// proportions must sum to 1 and its name must not shadow a preset.
+type ScenarioWorkload struct {
+	Name string `json:"name"`
+	// Operation proportions; must sum to 1 for custom mixes.
+	Read   float64 `json:"read,omitempty"`
+	Scan   float64 `json:"scan,omitempty"`
+	Insert float64 `json:"insert,omitempty"`
+	Update float64 `json:"update,omitempty"`
+	// ScanLength is records per scan (default 50, the paper's).
+	ScanLength int `json:"scanLength,omitempty"`
+	// FieldBytes is the record's per-field payload size (default 10:
+	// 75-byte records as in the paper).
+	FieldBytes int `json:"fieldBytes,omitempty"`
+	// Distribution selects the request distribution: "uniform" (default,
+	// the paper's), "zipfian", or "latest".
+	Distribution string `json:"distribution,omitempty"`
+}
+
+// custom reports whether the workload defines a mix rather than naming a
+// preset.
+func (w ScenarioWorkload) custom() bool {
+	return w.Read != 0 || w.Scan != 0 || w.Insert != 0 || w.Update != 0 ||
+		w.ScanLength != 0 || w.FieldBytes != 0 || w.Distribution != ""
+}
+
+// toWorkload resolves the entry into a validated mix.
+func (w ScenarioWorkload) toWorkload() (ycsb.Workload, error) {
+	if w.Name == "" {
+		return ycsb.Workload{}, fmt.Errorf("harness: scenario workload needs a name")
+	}
+	if !w.custom() {
+		return ycsb.WorkloadByName(w.Name)
+	}
+	if _, err := ycsb.WorkloadByName(w.Name); err == nil {
+		return ycsb.Workload{}, fmt.Errorf("harness: custom workload %q shadows a Table 1 preset; pick another name", w.Name)
+	}
+	chooser := ycsb.Uniform
+	switch w.Distribution {
+	case "", "uniform":
+	case "zipfian":
+		chooser = ycsb.Zipfian
+	case "latest":
+		chooser = ycsb.Latest
+	default:
+		return ycsb.Workload{}, fmt.Errorf("harness: workload %s: unknown distribution %q", w.Name, w.Distribution)
+	}
+	scanLen := w.ScanLength
+	if scanLen == 0 {
+		scanLen = 50
+	}
+	wl := ycsb.Workload{
+		Name:       w.Name,
+		ReadProp:   w.Read,
+		ScanProp:   w.Scan,
+		InsertProp: w.Insert,
+		UpdateProp: w.Update,
+		ScanLength: scanLen,
+		Chooser:    chooser,
+		FieldBytes: w.FieldBytes,
+	}
+	if err := wl.Validate(); err != nil {
+		return ycsb.Workload{}, err
+	}
+	return wl, nil
+}
+
+// Scenario is a user-defined experiment grid: the cross product of systems
+// × workloads × node counts × variant combos, rendered as one figure.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Systems to benchmark (series dimension).
+	Systems []System `json:"systems"`
+	// Workloads to run; ignored (and optional) when LoadOnly is set.
+	Workloads []ScenarioWorkload `json:"workloads,omitempty"`
+	// Nodes is the cluster-size sweep (the figure's X axis).
+	Nodes []int `json:"nodes"`
+	// Cluster picks the hardware: "M" (default, memory-bound) or "D"
+	// (disk-bound).
+	Cluster string `json:"cluster,omitempty"`
+	// Variants are deployment-option combos, one series per combo; each
+	// entry is an ordered "key=value,key=value" string (see the variant
+	// vocabulary in systems.go). An empty entry is the paper's defaults,
+	// and an empty list means just the defaults.
+	Variants []string `json:"variants,omitempty"`
+	// LoadOnly deploys and loads without running workloads (disk-usage
+	// experiments).
+	LoadOnly bool `json:"loadOnly,omitempty"`
+	// Metric selects the figure's Y value: "throughput" (default),
+	// "read-latency", "write-latency", "scan-latency", "update-latency",
+	// or "disk" (implied by LoadOnly).
+	Metric string `json:"metric,omitempty"`
+}
+
+// scenarioMetrics maps metric names to extractors and Y-axis labels.
+var scenarioMetrics = map[string]struct {
+	m      metric
+	yLabel string
+}{
+	"throughput":     {throughputMetric, "ops/sec"},
+	"read-latency":   {readLatMetric, "ms"},
+	"write-latency":  {writeLatMetric, "ms"},
+	"scan-latency":   {scanLatMetric, "ms"},
+	"update-latency": {func(r CellResult) float64 { return latencyMs(r.UpdateLat) }, "ms"},
+	"disk":           {func(r CellResult) float64 { return r.DiskBytesPaperScale / 1e9 }, "GB (paper scale)"},
+}
+
+// ParseScenario decodes and validates a scenario file. Unknown JSON fields
+// are errors, so a typo cannot silently drop a grid axis.
+func ParseScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("harness: scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the grid's shape; per-cell semantics (variant vocabulary
+// per system) surface when the cells run.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("harness: scenario needs a name")
+	}
+	if len(s.Systems) == 0 {
+		return fmt.Errorf("harness: scenario %s lists no systems", s.Name)
+	}
+	for _, sys := range s.Systems {
+		known := false
+		for _, k := range AllSystems {
+			if sys == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("harness: scenario %s: unknown system %q", s.Name, sys)
+		}
+	}
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("harness: scenario %s lists no node counts", s.Name)
+	}
+	for _, n := range s.Nodes {
+		if n < 1 {
+			return fmt.Errorf("harness: scenario %s: node count %d < 1", s.Name, n)
+		}
+	}
+	if !s.LoadOnly && len(s.Workloads) == 0 {
+		return fmt.Errorf("harness: scenario %s lists no workloads (set loadOnly for load-only grids)", s.Name)
+	}
+	for _, w := range s.Workloads {
+		if _, err := w.toWorkload(); err != nil {
+			return err
+		}
+	}
+	switch s.Cluster {
+	case "", "M", "D":
+	default:
+		return fmt.Errorf("harness: scenario %s: unknown cluster %q (want M or D)", s.Name, s.Cluster)
+	}
+	for _, v := range s.Variants {
+		if _, err := parseVariants(v); err != nil {
+			return err
+		}
+	}
+	if s.Metric != "" {
+		if _, ok := scenarioMetrics[s.Metric]; !ok {
+			return fmt.Errorf("harness: scenario %s: unknown metric %q", s.Name, s.Metric)
+		}
+	}
+	if s.LoadOnly && s.Metric != "" && s.Metric != "disk" {
+		return fmt.Errorf("harness: scenario %s: loadOnly grids only measure the disk metric", s.Name)
+	}
+	return nil
+}
+
+// metric returns the scenario's Y extractor and axis label.
+func (s *Scenario) metric() (metric, string) {
+	name := s.Metric
+	if name == "" {
+		name = "throughput"
+		if s.LoadOnly {
+			name = "disk"
+		}
+	}
+	sm := scenarioMetrics[name]
+	return sm.m, sm.yLabel
+}
+
+// seriesSpec is one figure series of the grid: a (system, workload,
+// variants) combination swept over the node counts.
+type seriesSpec struct {
+	label string
+	cells []Cell
+	xs    []float64
+}
+
+// series expands the grid, skipping (system, workload) pairs the system
+// cannot run (e.g. scan mixes on Voldemort), mirroring how the paper's
+// scan figures exclude it. Skipped pairs are reported so a scenario author
+// sees the holes.
+func (s *Scenario) series() ([]seriesSpec, []string, error) {
+	workloads := s.Workloads
+	if s.LoadOnly && len(workloads) == 0 {
+		workloads = []ScenarioWorkload{{}}
+	}
+	variants := s.Variants
+	if len(variants) == 0 {
+		variants = []string{""}
+	}
+	var specs []seriesSpec
+	var skipped []string
+	for _, sys := range s.Systems {
+		for _, sw := range workloads {
+			var wl ycsb.Workload
+			preset := false
+			if sw.Name != "" || !s.LoadOnly {
+				var err error
+				wl, err = sw.toWorkload()
+				if err != nil {
+					return nil, nil, err
+				}
+				preset = !sw.custom()
+				// A load-only cell executes no operations — its workload
+				// only picks the record size — so the scan/update support
+				// matrix applies to measured grids only.
+				if !s.LoadOnly && !SupportsWorkload(sys, wl) {
+					skipped = append(skipped, fmt.Sprintf("%s/%s", sys, wl.Name))
+					continue
+				}
+			}
+			for _, v := range variants {
+				spec := seriesSpec{label: seriesLabel(sys, sw.Name, v)}
+				for _, n := range s.Nodes {
+					c := Cell{
+						System:   sys,
+						Nodes:    n,
+						ClusterD: s.Cluster == "D",
+						Variants: v,
+						LoadOnly: s.LoadOnly,
+					}
+					if preset {
+						c.Workload = wl.Name
+					} else if sw.Name != "" {
+						c.Mix = wl
+					}
+					spec.cells = append(spec.cells, c)
+					spec.xs = append(spec.xs, float64(n))
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	return specs, skipped, nil
+}
+
+func seriesLabel(sys System, workload, variants string) string {
+	label := string(sys)
+	if workload != "" {
+		label += "/" + workload
+	}
+	if variants != "" {
+		label += "/" + variants
+	}
+	return label
+}
+
+// Cells returns every cell the scenario measures, in grid order, with
+// unsupported (system, workload) pairs skipped.
+func (s *Scenario) Cells() ([]Cell, error) {
+	specs, _, err := s.series()
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, spec := range specs {
+		cells = append(cells, spec.cells...)
+	}
+	return cells, nil
+}
+
+// RunScenario executes the scenario's grid on the worker pool (cached,
+// seeded, deduplicated like any figure plan) and assembles the figure: one
+// series per system × workload × variant combo, node counts on the X axis.
+func (r *Runner) RunScenario(s *Scenario) (Figure, error) {
+	if err := s.Validate(); err != nil {
+		return Figure{}, err
+	}
+	specs, skipped, err := s.series()
+	if err != nil {
+		return Figure{}, err
+	}
+	if len(specs) == 0 {
+		return Figure{}, fmt.Errorf("harness: scenario %s has no runnable cells (skipped: %v)", s.Name, skipped)
+	}
+	for _, sk := range skipped {
+		r.emit(fmt.Sprintf("%-10s skipped: workload not supported", sk))
+	}
+	var cells []Cell
+	for _, spec := range specs {
+		cells = append(cells, spec.cells...)
+	}
+	if err := r.RunAll(cells); err != nil {
+		return Figure{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	m, yLabel := s.metric()
+	title := s.Name
+	if s.Description != "" {
+		title += ": " + s.Description
+	}
+	fig := Figure{ID: "scenario-" + s.Name, Title: title, XLabel: "nodes", YLabel: yLabel}
+	for _, spec := range specs {
+		series, err := r.variantSeries(spec.label, spec.cells, spec.xs, m)
+		if err != nil {
+			return Figure{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}

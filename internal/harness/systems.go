@@ -10,6 +10,8 @@ package harness
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/stores/redis"
 	"repro/internal/stores/voldemort"
 	"repro/internal/stores/voltdb"
+	"repro/internal/ycsb"
 )
 
 // System names one of the six benchmarked stores.
@@ -61,34 +64,276 @@ type Deployment struct {
 // Deploy builds a cluster from spec (hardware scaled by scale) and deploys
 // the system on it with scale-adjusted engine thresholds.
 func Deploy(seed int64, sys System, spec cluster.Spec, scale float64) (*Deployment, error) {
+	return DeployVariants(seed, sys, spec, scale, "")
+}
+
+// Variant vocabulary: a cell's Variants field is an ordered comma-separated
+// list of key=value tuning options resolved against the system's deployment
+// defaults. Unknown keys or values for the target system are errors, so a
+// scenario cannot silently benchmark the default configuration. Supported:
+//
+//	cassandra: tokens=random|optimal, commitlog=off|<ms>,
+//	           replication=<n>, consistency=one|all|<n>,
+//	           compression=on|off
+//	hbase:     autoflush=on|off
+//	redis:     sharding=balanced|ring
+//	voltdb:    async=on|off
+//	mysql:     binlog=on|off
+//	any:       conns=<per-node client connections> (resolved by the
+//	           runner, not the store)
+//
+// An empty Variants string is the paper's configuration; such cells share
+// cache entries (and seeds) with the corresponding figure cells.
+
+// parseVariants splits "k1=v1,k2=v2" into ordered pairs.
+func parseVariants(s string) ([][2]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([][2]string, 0, len(parts))
+	for _, part := range parts {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("harness: malformed variant %q (want key=value)", part)
+		}
+		out = append(out, [2]string{k, v})
+	}
+	return out, nil
+}
+
+// variantInt extracts an integer-valued variant by key.
+func variantInt(variants, key string) (int, bool, error) {
+	kvs, err := parseVariants(variants)
+	if err != nil {
+		return 0, false, err
+	}
+	for _, kv := range kvs {
+		if kv[0] != key {
+			continue
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n <= 0 {
+			return 0, false, fmt.Errorf("harness: variant %s=%s is not a positive integer", key, kv[1])
+		}
+		return n, true, nil
+	}
+	return 0, false, nil
+}
+
+// onOff parses an on/off variant value.
+func onOff(key, v string) (bool, error) {
+	switch v {
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("harness: variant %s=%s: want on or off", key, v)
+}
+
+// DeployVariants is Deploy with declarative key=value tuning options (see
+// the variant vocabulary above) resolved into the system's deployment
+// options. This is the single construction path for every experiment cell:
+// figures (empty variants), ablations, and user scenarios.
+func DeployVariants(seed int64, sys System, spec cluster.Spec, scale float64, variants string) (*Deployment, error) {
+	kvs, err := parseVariants(variants)
+	if err != nil {
+		return nil, err
+	}
+	// conns is harness-scope (client-side connection count): the runner
+	// sizes the simulated client pool from it, and only MySQL's model
+	// consumes it server-side (per-connection thread overhead).
+	clients := 0
+	storeKVs := kvs[:0:0]
+	for _, kv := range kvs {
+		if kv[0] == "conns" {
+			perNode, _, err := variantInt(variants, "conns")
+			if err != nil {
+				return nil, err
+			}
+			clients = perNode * spec.Nodes
+			continue
+		}
+		storeKVs = append(storeKVs, kv)
+	}
 	e := sim.NewEngine(seed)
 	c := cluster.New(e, spec.Scale(scale))
 	var s store.Store
 	switch sys {
 	case Cassandra:
-		s = cassandra.New(c, cassandra.Options{
-			MemtableFlushBytes: scaleBytes(16<<20, scale),
-		})
+		s, err = deployCassandra(c, scale, storeKVs)
 	case HBase:
-		s = hbase.New(c, hbase.Options{
-			MemstoreFlushBytes: scaleBytes(16<<20, scale),
-		})
+		s, err = deployHBase(c, scale, storeKVs)
 	case Voldemort:
-		s = voldemort.New(c, voldemort.Options{BDBCacheFraction: 0.75})
+		s, err = deployVoldemort(c, storeKVs)
 	case Redis:
-		s = redis.New(c, redis.Options{MemScale: scale})
+		s, err = deployRedis(c, scale, storeKVs)
 	case VoltDB:
-		s = voltdb.New(c, voltdb.Options{})
+		s, err = deployVoltDB(c, storeKVs)
 	case MySQL:
-		s = mysql.New(c, mysql.Options{
-			BinLog:        true,
-			ClientThreads: Conns(MySQL, spec.Nodes, false),
-			ScaleComp:     1 / scale,
-		})
+		s, err = deployMySQL(c, spec, scale, clients, storeKVs)
 	default:
 		return nil, fmt.Errorf("harness: unknown system %q", sys)
 	}
+	if err != nil {
+		return nil, err
+	}
 	return &Deployment{Engine: e, Clust: c, Store: s}, nil
+}
+
+func deployCassandra(c *cluster.Cluster, scale float64, kvs [][2]string) (store.Store, error) {
+	opts := cassandra.Options{MemtableFlushBytes: scaleBytes(16<<20, scale)}
+	consistency := ""
+	for _, kv := range kvs {
+		k, v := kv[0], kv[1]
+		switch k {
+		case "tokens":
+			switch v {
+			case "random":
+				opts.RandomTokens = true
+			case "optimal":
+				opts.RandomTokens = false
+			default:
+				return nil, fmt.Errorf("harness: cassandra variant tokens=%s: want random or optimal", v)
+			}
+		case "commitlog":
+			if v == "off" {
+				// Periodic mode: writers acknowledge before the group
+				// commit syncs instead of waiting out the batch window.
+				opts.CommitLogPeriodic = true
+				continue
+			}
+			ms, err := strconv.Atoi(v)
+			if err != nil || ms <= 0 {
+				return nil, fmt.Errorf("harness: cassandra variant commitlog=%s: want off or a batch window in ms", v)
+			}
+			opts.CommitLogWindow = sim.Time(ms) * sim.Millisecond
+		case "replication":
+			rf, err := strconv.Atoi(v)
+			if err != nil || rf < 1 {
+				return nil, fmt.Errorf("harness: cassandra variant replication=%s: want a positive factor", v)
+			}
+			opts.ReplicationFactor = rf
+		case "consistency":
+			consistency = v
+		case "compression":
+			on, err := onOff(k, v)
+			if err != nil {
+				return nil, err
+			}
+			opts.Compression = on
+		default:
+			return nil, fmt.Errorf("harness: cassandra does not support variant %q", k)
+		}
+	}
+	if consistency != "" {
+		rf := opts.ReplicationFactor
+		if rf == 0 {
+			rf = 1
+		}
+		switch consistency {
+		case "one":
+			opts.WriteConsistency = 1
+		case "all":
+			opts.WriteConsistency = rf
+		default:
+			cl, err := strconv.Atoi(consistency)
+			if err != nil || cl < 1 || cl > rf {
+				return nil, fmt.Errorf("harness: cassandra variant consistency=%s: want one, all, or 1..replication", consistency)
+			}
+			opts.WriteConsistency = cl
+		}
+	}
+	return cassandra.New(c, opts), nil
+}
+
+func deployHBase(c *cluster.Cluster, scale float64, kvs [][2]string) (store.Store, error) {
+	opts := hbase.Options{MemstoreFlushBytes: scaleBytes(16<<20, scale)}
+	for _, kv := range kvs {
+		switch kv[0] {
+		case "autoflush":
+			on, err := onOff(kv[0], kv[1])
+			if err != nil {
+				return nil, err
+			}
+			opts.AutoFlush = on
+		default:
+			return nil, fmt.Errorf("harness: hbase does not support variant %q", kv[0])
+		}
+	}
+	return hbase.New(c, opts), nil
+}
+
+func deployVoldemort(c *cluster.Cluster, kvs [][2]string) (store.Store, error) {
+	if len(kvs) > 0 {
+		return nil, fmt.Errorf("harness: voldemort does not support variant %q", kvs[0][0])
+	}
+	return voldemort.New(c, voldemort.Options{BDBCacheFraction: 0.75}), nil
+}
+
+func deployRedis(c *cluster.Cluster, scale float64, kvs [][2]string) (store.Store, error) {
+	opts := redis.Options{MemScale: scale}
+	for _, kv := range kvs {
+		switch kv[0] {
+		case "sharding":
+			switch kv[1] {
+			case "balanced":
+				opts.Balanced = true
+			case "ring":
+				opts.Balanced = false
+			default:
+				return nil, fmt.Errorf("harness: redis variant sharding=%s: want balanced or ring", kv[1])
+			}
+		default:
+			return nil, fmt.Errorf("harness: redis does not support variant %q", kv[0])
+		}
+	}
+	return redis.New(c, opts), nil
+}
+
+func deployVoltDB(c *cluster.Cluster, kvs [][2]string) (store.Store, error) {
+	opts := voltdb.Options{}
+	for _, kv := range kvs {
+		switch kv[0] {
+		case "async":
+			on, err := onOff(kv[0], kv[1])
+			if err != nil {
+				return nil, err
+			}
+			opts.Async = on
+		default:
+			return nil, fmt.Errorf("harness: voltdb does not support variant %q", kv[0])
+		}
+	}
+	return voltdb.New(c, opts), nil
+}
+
+func deployMySQL(c *cluster.Cluster, spec cluster.Spec, scale float64, clients int, kvs [][2]string) (store.Store, error) {
+	if clients == 0 {
+		clients = Conns(MySQL, spec.Nodes, false)
+	}
+	opts := mysql.Options{
+		BinLog: true,
+		// ClientThreads drives the model's per-connection server
+		// overhead; it must track the actual simulated client count,
+		// including a conns= variant override.
+		ClientThreads: clients,
+		ScaleComp:     1 / scale,
+	}
+	for _, kv := range kvs {
+		switch kv[0] {
+		case "binlog":
+			on, err := onOff(kv[0], kv[1])
+			if err != nil {
+				return nil, err
+			}
+			opts.BinLog = on
+		default:
+			return nil, fmt.Errorf("harness: mysql does not support variant %q", kv[0])
+		}
+	}
+	return mysql.New(c, opts), nil
 }
 
 func scaleBytes(b int64, scale float64) int64 {
@@ -125,8 +370,30 @@ func Conns(sys System, nodes int, clusterD bool) int {
 	}
 }
 
-// SupportsWorkload reports whether the system can run the workload (scan
-// workloads exclude Voldemort).
-func SupportsWorkload(sys System, hasScans bool) bool {
-	return !hasScans || sys != Voldemort
+// SupportsScans reports whether the system's client can run scan workloads
+// (the paper's Voldemort YCSB client had no scan support, §5.4).
+func SupportsScans(sys System) bool { return sys != Voldemort }
+
+// SupportsUpdates reports whether the system's model covers in-place
+// updates. The store models distinguish only the operations the paper's
+// append-only APM workload exercised: the LSM stores (Cassandra, HBase)
+// physically upsert and the in-memory stores (Redis, VoltDB) overwrite, so
+// update traffic is faithfully modeled there. The B-tree stores route every
+// write through an insert-calibrated path — MySQL grows its MVCC history
+// backlog and binlog as for a fresh row, Voldemort charges BDB insert I/O
+// and log appends — so an update mix would silently inherit insert costs;
+// the harness rejects it instead of mis-modeling it.
+func SupportsUpdates(sys System) bool { return sys != MySQL && sys != Voldemort }
+
+// SupportsWorkload reports whether the system can run the workload mix
+// (scan mixes exclude Voldemort; update mixes are limited to the systems
+// whose models cover in-place updates).
+func SupportsWorkload(sys System, wl ycsb.Workload) bool {
+	if wl.HasScans() && !SupportsScans(sys) {
+		return false
+	}
+	if wl.HasUpdates() && !SupportsUpdates(sys) {
+		return false
+	}
+	return true
 }

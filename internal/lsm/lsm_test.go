@@ -337,3 +337,64 @@ func BenchmarkGetAcrossTables(b *testing.B) {
 	b.ResetTimer()
 	e.Run(0)
 }
+
+// TestScanPrunesDisjointTables pins the scan-side table pruning contract:
+// a scan covers [start, +inf), so tables whose maxKey sorts below start
+// must be skipped without paying a positioning charge, while every other
+// table is positioned exactly once. Landing this pruning intentionally
+// changed scan-heavy cells' RNG draw counts (fewer cache-miss draws), the
+// same called-out treatment Get's early-exit got in PR 1.
+func TestScanPrunesDisjointTables(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := cluster.New(e, cluster.ClusterM(1)).Nodes[0]
+	tr := New(Config{
+		Node:       n,
+		Seed:       1,
+		FlushBytes: 300, // ~20 sequential entries per table
+		CompactMin: 100, // no compaction: table ranges stay disjoint
+		CacheBytes: 1 << 30,
+	})
+	for i := 0; i < 100; i++ {
+		tr.LoadDirect(fmt.Sprintf("k%04d", i), fields("0123456789"))
+	}
+	if tr.TableCount() < 3 {
+		t.Fatalf("want >= 3 disjoint tables, got %d", tr.TableCount())
+	}
+	const start = "k0070"
+	var wantPositioned, wantPruned int64
+	for _, tab := range tr.tables {
+		if _, maxKey := tab.KeyRange(); maxKey < start {
+			wantPruned++
+		} else {
+			wantPositioned++
+		}
+	}
+	if wantPruned == 0 || wantPositioned == 0 {
+		t.Fatalf("layout not prunable: positioned=%d pruned=%d", wantPositioned, wantPruned)
+	}
+	e.Go("r", func(p *sim.Proc) {
+		got := tr.Scan(p, start, 5)
+		if len(got) != 5 {
+			t.Fatalf("scan returned %d entries, want 5", len(got))
+		}
+		for i, ent := range got {
+			if want := fmt.Sprintf("k%04d", 70+i); ent.Key != want {
+				t.Errorf("scan[%d] = %s, want %s (pruning dropped entries)", i, ent.Key, want)
+			}
+		}
+	})
+	e.Run(0)
+	positioned, pruned := tr.ScanStats()
+	if positioned != wantPositioned || pruned != wantPruned {
+		t.Errorf("scan stats positioned=%d pruned=%d, want %d/%d",
+			positioned, pruned, wantPositioned, wantPruned)
+	}
+	// A scan from the start of the keyspace positions every table.
+	e.Go("r2", func(p *sim.Proc) { tr.Scan(p, "", 5) })
+	e.Run(0)
+	positioned2, pruned2 := tr.ScanStats()
+	if positioned2 != positioned+int64(tr.TableCount()) || pruned2 != pruned {
+		t.Errorf("full-range scan stats positioned=%d pruned=%d, want %d/%d",
+			positioned2, pruned2, positioned+int64(tr.TableCount()), pruned)
+	}
+}

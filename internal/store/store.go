@@ -5,7 +5,6 @@ package store
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/sim"
 )
@@ -36,8 +35,20 @@ type Record struct {
 // Like YCSB's default (insertorder=hashed), the record number is hashed so
 // that key ranges are uniformly loaded even though records are inserted in
 // sequence; fixed-width zero-padded decimals make lexicographic order equal
-// numeric order, which ordered stores (HBase) rely on.
-func Key(i int64) string { return fmt.Sprintf("user%021d", permute(uint64(i))) }
+// numeric order, which ordered stores (HBase) rely on. Every simulated
+// operation builds at least one key, so the digits are written directly
+// into a fixed buffer (a 21-digit zero-padded uint64 after the "user"
+// prefix) instead of going through fmt.
+func Key(i int64) string {
+	var b [KeyBytes]byte
+	b[0], b[1], b[2], b[3] = 'u', 's', 'e', 'r'
+	v := permute(uint64(i))
+	for j := KeyBytes - 1; j >= 4; j-- {
+		b[j] = '0' + byte(v%10)
+		v /= 10
+	}
+	return string(b[:])
+}
 
 // permute is MurmurHash3's 64-bit finalizer: a bijective mixer, so distinct
 // record numbers always produce distinct keys.
@@ -51,10 +62,34 @@ func permute(h uint64) uint64 {
 }
 
 // MakeFields builds a deterministic 5x10-byte field set for record i.
-func MakeFields(i int64) Fields {
+func MakeFields(i int64) Fields { return MakeFieldsSized(i, FieldBytes) }
+
+// MakeFieldsSized builds a deterministic field set with fieldBytes bytes per
+// field (0 or negative means the default FieldBytes), for workloads that
+// vary record size. The default size reproduces MakeFields exactly: nine
+// zero-padded digits of i then the field index; larger fields repeat that
+// 10-byte pattern, so byte accounting scales without new entropy.
+func MakeFieldsSized(i int64, fieldBytes int) Fields {
+	if fieldBytes <= 0 {
+		fieldBytes = FieldBytes
+	}
+	var pat [FieldBytes]byte
+	v := i % 1e9
+	if v < 0 {
+		v = -v
+	}
+	for k := FieldBytes - 2; k >= 0; k-- {
+		pat[k] = '0' + byte(v%10)
+		v /= 10
+	}
 	f := make(Fields, NumFields)
 	for j := range f {
-		f[j] = []byte(fmt.Sprintf("%09d%d", i%1e9, j))
+		pat[FieldBytes-1] = '0' + byte(j)
+		b := make([]byte, fieldBytes)
+		for k := 0; k < len(b); k += FieldBytes {
+			copy(b[k:], pat[:])
+		}
+		f[j] = b
 	}
 	return f
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -79,5 +80,63 @@ func TestRawRecordBytesAccounting(t *testing.T) {
 	}
 	if total != RawRecordBytes {
 		t.Fatalf("key+fields = %d bytes, want RawRecordBytes = %d", total, RawRecordBytes)
+	}
+}
+
+func TestKeyMatchesReferenceFormat(t *testing.T) {
+	// The hand-rolled digit writer must reproduce the historical
+	// fmt.Sprintf("user%021d", permute(uint64(i))) format exactly — keys
+	// are baked into every deterministic result.
+	for _, i := range []int64{0, 1, 42, 999, 1e9, 1<<40 + 3, -1, -12345} {
+		want := fmt.Sprintf("user%021d", permute(uint64(i)))
+		if got := Key(i); got != want {
+			t.Fatalf("Key(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestMakeFieldsSized(t *testing.T) {
+	// Default size reproduces MakeFields (and its historical format) exactly.
+	for _, i := range []int64{0, 7, 999_999_999, 1_000_000_007} {
+		def := MakeFieldsSized(i, 0)
+		ref := MakeFields(i)
+		for j := range ref {
+			if string(def[j]) != string(ref[j]) {
+				t.Fatalf("MakeFieldsSized(%d, 0)[%d] = %q, want %q", i, j, def[j], ref[j])
+			}
+			if want := fmt.Sprintf("%09d%d", i%1e9, j); string(ref[j]) != want {
+				t.Fatalf("MakeFields(%d)[%d] = %q, want historical %q", i, j, ref[j], want)
+			}
+		}
+	}
+	// Custom sizes change only the byte count, repeating the pattern.
+	for _, size := range []int{1, 10, 25, 200} {
+		f := MakeFieldsSized(42, size)
+		if len(f) != NumFields {
+			t.Fatalf("MakeFieldsSized(42, %d) has %d fields", size, len(f))
+		}
+		for j, col := range f {
+			if len(col) != size {
+				t.Fatalf("field %d has %d bytes, want %d", j, len(col), size)
+			}
+			base := MakeFieldsSized(42, FieldBytes)[j]
+			for k, b := range col {
+				if b != base[k%FieldBytes] {
+					t.Fatalf("size-%d field %d diverges from pattern at byte %d", size, j, k)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkStoreKey pins the win of the fmt-free key builder (was
+// fmt.Sprintf: ~140 ns and 2 allocs/op; now ~43 ns and the single
+// unavoidable string conversion).
+func BenchmarkStoreKey(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(Key(int64(i))) != KeyBytes {
+			b.Fatal("bad key")
+		}
 	}
 }

@@ -42,6 +42,11 @@ type Options struct {
 	// CommitLogWindow is the group-commit window writers wait for
 	// (batch mode; see package comment).
 	CommitLogWindow sim.Time
+	// CommitLogPeriodic switches the commit log to periodic mode:
+	// writers acknowledge before the group commit syncs (Cassandra's
+	// commitlog_sync: periodic), trading the batch window's write
+	// latency for a durability window. Log bytes are still accounted.
+	CommitLogPeriodic bool
 	// RandomTokens uses Cassandra's default random token selection instead
 	// of the optimal assignment (§6 ablation).
 	RandomTokens bool
@@ -168,7 +173,7 @@ func New(c *cluster.Cluster, opts Options) *Store {
 				FlushBytes: opts.MemtableFlushBytes,
 				Overhead:   opts.Overhead,
 				WALWindow:  opts.CommitLogWindow,
-				WALSync:    true, // writers wait for the group commit
+				WALSync:    !opts.CommitLogPeriodic, // batch mode: writers wait for the group commit
 				CacheBytes: cache,
 			}),
 		})

@@ -40,9 +40,13 @@ type Result struct {
 
 // Load populates the store with n records (record numbers 0..n-1) without
 // consuming virtual time, mirroring the paper's separate load phase.
-func Load(s store.Store, n int64) error {
+func Load(s store.Store, n int64) error { return LoadSized(s, n, store.FieldBytes) }
+
+// LoadSized is Load with fieldBytes-sized value fields per record, for
+// workloads that vary record size (0 means the default 10 bytes).
+func LoadSized(s store.Store, n int64, fieldBytes int) error {
 	for i := int64(0); i < n; i++ {
-		if err := s.Load(store.Key(i), store.MakeFields(i)); err != nil {
+		if err := s.Load(store.Key(i), store.MakeFieldsSized(i, fieldBytes)); err != nil {
 			return fmt.Errorf("ycsb: load record %d: %w", i, err)
 		}
 	}
@@ -69,6 +73,7 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 	stopAt := e.Now() + cfg.Warmup + cfg.Measure
 	inserted := cfg.InitialRecords
 	chooser := newChooser(cfg.Workload.Chooser)
+	fieldBytes := cfg.Workload.FieldSize()
 
 	// Per-client pacing interval for throttled runs.
 	var interval sim.Time
@@ -101,10 +106,10 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 				case stats.OpInsert:
 					id := inserted
 					inserted++
-					err = cfg.Store.Insert(p, store.Key(id), store.MakeFields(id))
+					err = cfg.Store.Insert(p, store.Key(id), store.MakeFieldsSized(id, fieldBytes))
 				case stats.OpUpdate:
 					id := chooser.Choose(inserted, rng.Float64(), rng.Float64())
-					err = cfg.Store.Update(p, store.Key(id), store.MakeFields(id))
+					err = cfg.Store.Update(p, store.Key(id), store.MakeFieldsSized(id, fieldBytes))
 				}
 				if err != nil {
 					col.RecordError()

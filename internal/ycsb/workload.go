@@ -10,9 +10,12 @@ import (
 	"math"
 
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Workload is an operation mix (paper Table 1). Proportions must sum to 1.
+// The zero value is invalid; start from a Table 1 preset or fill every
+// proportion explicitly.
 type Workload struct {
 	Name       string
 	ReadProp   float64
@@ -22,6 +25,10 @@ type Workload struct {
 	ScanLength int
 	// Chooser selects keys for reads and scans (Uniform in the paper).
 	Chooser ChooserKind
+	// FieldBytes is the record's per-field payload size; 0 means the
+	// paper's 10 bytes (5 fields x 10 bytes + 25-byte key = 75-byte
+	// records). Scenarios vary it to benchmark other record shapes.
+	FieldBytes int
 }
 
 // ChooserKind selects the request distribution.
@@ -64,6 +71,11 @@ func WorkloadByName(name string) (Workload, error) {
 
 // Validate checks that proportions form a distribution.
 func (w Workload) Validate() error {
+	for _, p := range []float64{w.ReadProp, w.ScanProp, w.InsertProp, w.UpdateProp} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("ycsb: workload %s has proportion %g outside [0,1]", w.Name, p)
+		}
+	}
 	sum := w.ReadProp + w.ScanProp + w.InsertProp + w.UpdateProp
 	if math.Abs(sum-1) > 1e-9 {
 		return fmt.Errorf("ycsb: workload %s proportions sum to %f, want 1", w.Name, sum)
@@ -71,11 +83,37 @@ func (w Workload) Validate() error {
 	if w.ScanProp > 0 && w.ScanLength <= 0 {
 		return fmt.Errorf("ycsb: workload %s has scans but no scan length", w.Name)
 	}
+	if w.FieldBytes < 0 {
+		return fmt.Errorf("ycsb: workload %s has negative field size %d", w.Name, w.FieldBytes)
+	}
 	return nil
 }
 
 // HasScans reports whether the mix includes scan operations.
 func (w Workload) HasScans() bool { return w.ScanProp > 0 }
+
+// HasUpdates reports whether the mix includes update operations.
+func (w Workload) HasUpdates() bool { return w.UpdateProp > 0 }
+
+// FieldSize returns the effective per-field payload size.
+func (w Workload) FieldSize() int {
+	if w.FieldBytes <= 0 {
+		return store.FieldBytes
+	}
+	return w.FieldBytes
+}
+
+// IsPreset reports whether w is exactly one of the Table 1 presets (same
+// name, same parameters). Preset-identical workloads share experiment
+// cells — and therefore cached results — with the paper's figures.
+func (w Workload) IsPreset() bool {
+	for _, p := range Workloads {
+		if w == p {
+			return true
+		}
+	}
+	return false
+}
 
 // pick draws an operation kind from the mix.
 func (w Workload) pick(r float64) stats.OpKind {

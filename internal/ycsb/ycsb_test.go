@@ -95,6 +95,35 @@ func TestValidateRejectsBadMix(t *testing.T) {
 	if err := noLen.Validate(); err == nil {
 		t.Fatal("accepted scans without scan length")
 	}
+	negProp := Workload{Name: "neg", ReadProp: 1.5, InsertProp: -0.5}
+	if err := negProp.Validate(); err == nil {
+		t.Fatal("accepted proportions outside [0,1]")
+	}
+	negField := Workload{Name: "negfield", ReadProp: 1, FieldBytes: -1}
+	if err := negField.Validate(); err == nil {
+		t.Fatal("accepted negative field size")
+	}
+	updates := Workload{Name: "upd", ReadProp: 0.5, UpdateProp: 0.5}
+	if err := updates.Validate(); err != nil {
+		t.Fatalf("rejected a valid update mix: %v", err)
+	}
+	if !updates.HasUpdates() || WorkloadR.HasUpdates() {
+		t.Fatal("HasUpdates wrong")
+	}
+}
+
+func TestWorkloadFieldSizeAndPresetIdentity(t *testing.T) {
+	if WorkloadR.FieldSize() != 10 {
+		t.Fatalf("default field size = %d, want 10 (75-byte records)", WorkloadR.FieldSize())
+	}
+	sized := WorkloadR
+	sized.FieldBytes = 200
+	if sized.FieldSize() != 200 {
+		t.Fatalf("custom field size = %d, want 200", sized.FieldSize())
+	}
+	if !WorkloadR.IsPreset() || sized.IsPreset() {
+		t.Fatal("IsPreset must be exact parameter identity, not just the name")
+	}
 }
 
 func TestClosedLoopThroughputMatchesLittlesLaw(t *testing.T) {
