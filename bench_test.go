@@ -233,6 +233,59 @@ func BenchmarkLSMGet(b *testing.B) {
 	e.Run(0)
 }
 
+// BenchmarkLSMInsert measures the full per-operation write path the
+// benchmark's load and insert loops pay: key build, field-set build, WAL
+// append (async) and memtable insert. The flush threshold is set beyond
+// the bench's reach so the numbers isolate the per-op cost from flush
+// churn (which the figure benches cover end to end).
+func BenchmarkLSMInsert(b *testing.B) {
+	e := sim.NewEngine(1)
+	n := cluster.New(e, cluster.ClusterM(1)).Nodes[0]
+	tr := lsm.New(lsm.Config{
+		Node:       n,
+		Seed:       1,
+		FlushBytes: 1 << 40,
+		Overhead:   sstable.Overhead{PerEntry: 10, PerCell: 20},
+		CacheBytes: 1 << 30,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			id := int64(i)
+			tr.Put(p, store.Key(id), store.MakeFields(id))
+		}
+	})
+	e.Run(0)
+}
+
+// BenchmarkLSMInsertReuse is BenchmarkLSMInsert on the buffer-reuse path
+// the YCSB runner takes against copy-on-ingest stores: one FillFields
+// buffer per client, leaving the key string as the only allocation per
+// operation.
+func BenchmarkLSMInsertReuse(b *testing.B) {
+	e := sim.NewEngine(1)
+	n := cluster.New(e, cluster.ClusterM(1)).Nodes[0]
+	tr := lsm.New(lsm.Config{
+		Node:       n,
+		Seed:       1,
+		FlushBytes: 1 << 40,
+		Overhead:   sstable.Overhead{PerEntry: 10, PerCell: 20},
+		CacheBytes: 1 << 30,
+	})
+	var buf store.Fields
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			id := int64(i)
+			buf = store.FillFields(buf, id, store.FieldBytes)
+			tr.Put(p, store.Key(id), buf)
+		}
+	})
+	e.Run(0)
+}
+
 // BenchmarkLSMScan measures the 50-row merged range-scan path.
 func BenchmarkLSMScan(b *testing.B) {
 	e := sim.NewEngine(1)

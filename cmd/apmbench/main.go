@@ -11,6 +11,9 @@
 //	apmbench -scenario grid.json    # a user-defined scenario grid
 //	apmbench -scale 0.02 -measure 4 # higher fidelity
 //	apmbench -parallel 1            # serial cell execution
+//	apmbench -figure 3 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	                                # host-side profiling (see README
+//	                                # "Profiling": the scale=1 recipe)
 //
 // A scenario file declares a grid — systems × workloads (Table 1 presets
 // or custom mixes, any record size) × node counts × deployment variants —
@@ -31,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/harness"
@@ -39,21 +44,52 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure id (3..20), 'table1', 'all', or an ablation name (see -list)")
-		scale    = flag.Float64("scale", 0.01, "record-count and hardware scale factor")
-		measure  = flag.Float64("measure", 2.0, "measurement window, virtual seconds")
-		warmup   = flag.Float64("warmup", 0.5, "warmup, virtual seconds")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		nodes    = flag.String("nodes", "1,2,4,8,12", "comma-separated node counts")
-		list     = flag.Bool("list", false, "list available figures and exit")
-		quiet    = flag.Bool("quiet", false, "suppress per-cell progress output")
-		format   = flag.String("format", "table", "output format: table or csv")
-		explain  = flag.String("explain", "", "diagnose one cell: system:nodes:workload[:D], e.g. cassandra:4:R or hbase:8:W:D")
-		reps     = flag.Int("reps", 1, "independent executions to average per cell")
-		parallel = flag.Int("parallel", 0, "concurrent cell executions (0 = GOMAXPROCS, 1 = serial)")
-		scenario = flag.String("scenario", "", "run a scenario grid from a JSON file (see examples/scenarios/)")
+		figure     = flag.String("figure", "all", "figure id (3..20), 'table1', 'all', or an ablation name (see -list)")
+		scale      = flag.Float64("scale", 0.01, "record-count and hardware scale factor")
+		measure    = flag.Float64("measure", 2.0, "measurement window, virtual seconds")
+		warmup     = flag.Float64("warmup", 0.5, "warmup, virtual seconds")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		nodes      = flag.String("nodes", "1,2,4,8,12", "comma-separated node counts")
+		list       = flag.Bool("list", false, "list available figures and exit")
+		quiet      = flag.Bool("quiet", false, "suppress per-cell progress output")
+		format     = flag.String("format", "table", "output format: table or csv")
+		explain    = flag.String("explain", "", "diagnose one cell: system:nodes:workload[:D], e.g. cassandra:4:R or hbase:8:W:D")
+		reps       = flag.Int("reps", 1, "independent executions to average per cell")
+		parallel   = flag.Int("parallel", 0, "concurrent cell executions (0 = GOMAXPROCS, 1 = serial)")
+		scenario   = flag.String("scenario", "", "run a scenario grid from a JSON file (see examples/scenarios/)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+			os.Exit(2)
+		}
+		// Flushed on the normal exit path below; error paths os.Exit and
+		// deliberately drop the partial profile.
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := harness.Config{
 		Scale:       *scale,

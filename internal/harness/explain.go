@@ -141,6 +141,12 @@ func clusterSpecFor(c Cell, cfg Config) cluster.Spec {
 }
 
 func recordsFor(c Cell, cfg Config) int64 {
+	if c.RecordsPerNode > 0 {
+		// Scenario-level dataset override: per-node count applies on any
+		// cluster (Cluster D's paper-fixed total is a config default, not
+		// a law of the hardware).
+		return int64(float64(c.RecordsPerNode*int64(c.Nodes)) * cfg.Scale)
+	}
 	if c.ClusterD {
 		return int64(float64(cfg.ClusterDRecords) * cfg.Scale)
 	}

@@ -109,6 +109,15 @@ type Cell struct {
 	// (the disk-usage experiment, Fig 17). Workload/Mix then only select
 	// the record size (default 75-byte records when unset).
 	LoadOnly bool
+	// RecordsPerNode overrides Config.RecordsPerNode for this cell
+	// (pre-scale records per node, also applied on Cluster D in place of
+	// the paper's fixed total); 0 keeps the config's dataset size. Set by
+	// scenario-level overrides.
+	RecordsPerNode int64
+	// Repetitions overrides Config.Repetitions for this cell (independent
+	// seeds averaged per result); 0 keeps the config's. Ignored for
+	// LoadOnly cells, whose load is deterministic per seed.
+	Repetitions int
 }
 
 // workload resolves the cell's operation mix: the inline Mix when set,
@@ -269,7 +278,24 @@ func (r *Runner) key(c Cell) string {
 	if c.Spec.Name != "" {
 		k += "/hw=" + specKey(c.Spec)
 	}
+	if c.RecordsPerNode > 0 {
+		k += fmt.Sprintf("/rpn=%d", c.RecordsPerNode)
+	}
+	// Repetition count changes a workload cell's averaged result, so it is
+	// part of the identity; a load's outcome doesn't depend on it.
+	if c.Repetitions > 0 && !c.LoadOnly {
+		k += fmt.Sprintf("/reps=%d", c.Repetitions)
+	}
 	return k
+}
+
+// repetitions resolves how many independent executions average into c's
+// result: the cell's override when set, else the config's.
+func (r *Runner) repetitions(c Cell) int {
+	if c.Repetitions > 0 {
+		return c.Repetitions
+	}
+	return r.Cfg.Repetitions
 }
 
 // cellSeed derives the engine seed for repetition rep of the cell
@@ -363,7 +389,7 @@ func (r *Runner) measure(c Cell, key string) (CellResult, error) {
 		return r.loadOnly(c, key)
 	}
 	var acc CellResult
-	for rep := 0; rep < r.Cfg.Repetitions; rep++ {
+	for rep := 0; rep < r.repetitions(c); rep++ {
 		res, err := r.run(c, key, int64(rep))
 		if err != nil {
 			return CellResult{}, err

@@ -110,6 +110,15 @@ type Scenario struct {
 	// "read-latency", "write-latency", "scan-latency", "update-latency",
 	// or "disk" (implied by LoadOnly).
 	Metric string `json:"metric,omitempty"`
+	// RecordsPerNode overrides the runner's pre-scale per-node dataset
+	// size for every cell in the grid (0 keeps the config's, the paper's
+	// 10M). Overridden cells cache and seed under extended keys, so they
+	// never collide with figure cells.
+	RecordsPerNode int64 `json:"recordsPerNode,omitempty"`
+	// Repetitions overrides how many independent seeds average into each
+	// measured cell (0 keeps the config's; the paper reports the average
+	// of at least 3 executions).
+	Repetitions int `json:"repetitions,omitempty"`
 }
 
 // scenarioMetrics maps metric names to extractors and Y-axis labels.
@@ -195,6 +204,12 @@ func (s *Scenario) Validate() error {
 	if s.LoadOnly && s.Metric != "" && s.Metric != "disk" {
 		return fmt.Errorf("harness: scenario %s: loadOnly grids only measure the disk metric", s.Name)
 	}
+	if s.RecordsPerNode < 0 {
+		return fmt.Errorf("harness: scenario %s: negative recordsPerNode %d", s.Name, s.RecordsPerNode)
+	}
+	if s.Repetitions < 0 {
+		return fmt.Errorf("harness: scenario %s: negative repetitions %d", s.Name, s.Repetitions)
+	}
 	return nil
 }
 
@@ -257,11 +272,13 @@ func (s *Scenario) series() ([]seriesSpec, []string, error) {
 				spec := seriesSpec{label: seriesLabel(sys, sw.Name, v)}
 				for _, n := range s.Nodes {
 					c := Cell{
-						System:   sys,
-						Nodes:    n,
-						ClusterD: s.Cluster == "D",
-						Variants: v,
-						LoadOnly: s.LoadOnly,
+						System:         sys,
+						Nodes:          n,
+						ClusterD:       s.Cluster == "D",
+						Variants:       v,
+						LoadOnly:       s.LoadOnly,
+						RecordsPerNode: s.RecordsPerNode,
+						Repetitions:    s.Repetitions,
 					}
 					if preset {
 						c.Workload = wl.Name

@@ -396,3 +396,87 @@ func TestConnsVariantReachesMySQLModel(t *testing.T) {
 			few.ReadLat, deflt.ReadLat)
 	}
 }
+
+// TestScenarioDatasetOverrides pins the per-scenario recordsPerNode /
+// repetitions overrides: validation, cell stamping, extended cache keys
+// (historical keys unchanged when unset), record-count math, and the JSON
+// round trip.
+func TestScenarioDatasetOverrides(t *testing.T) {
+	doc := `{
+	  "name": "sweep",
+	  "systems": ["redis"],
+	  "workloads": [{"name": "R"}],
+	  "nodes": [1, 2],
+	  "recordsPerNode": 2000000,
+	  "repetitions": 2
+	}`
+	s, err := ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded to %d cells, want 2", len(cells))
+	}
+	r := NewRunner(planCfg())
+	for _, c := range cells {
+		if c.RecordsPerNode != 2_000_000 || c.Repetitions != 2 {
+			t.Fatalf("cell missing overrides: %+v", c)
+		}
+		k := r.key(c)
+		if !strings.Contains(k, "/rpn=2000000") || !strings.Contains(k, "/reps=2") {
+			t.Fatalf("override cell key %q lacks rpn/reps fragments", k)
+		}
+		if got := recordsFor(c, r.Cfg); got != int64(2_000_000*float64(c.Nodes)*r.Cfg.Scale) {
+			t.Fatalf("recordsFor = %d for %d nodes", got, c.Nodes)
+		}
+		if r.repetitions(c) != 2 {
+			t.Fatalf("repetitions(c) = %d, want 2", r.repetitions(c))
+		}
+	}
+	// The same grid without overrides keeps its historical key.
+	base := Cell{System: Redis, Nodes: 1, Workload: "R"}
+	if k := r.key(base); strings.Contains(k, "rpn=") || strings.Contains(k, "reps=") {
+		t.Fatalf("default cell key %q gained override fragments", k)
+	}
+	// Overrides apply on Cluster D too (per-node count replaces the fixed
+	// paper total).
+	d := Cell{System: Redis, Nodes: 2, Workload: "R", ClusterD: true, RecordsPerNode: 1000}
+	if got, want := recordsFor(d, r.Cfg), int64(2*1000*r.Cfg.Scale); got != want {
+		t.Fatalf("ClusterD override recordsFor = %d, want %d", got, want)
+	}
+	// Round trip preserves the overrides.
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseScenario(data)
+	if err != nil {
+		t.Fatalf("re-marshaled scenario does not parse: %v\n%s", err, data)
+	}
+	cells2, err := s2.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells, cells2) {
+		t.Fatalf("override cells changed across round trip:\n%+v\n%+v", cells, cells2)
+	}
+	// A load-only cell's result doesn't depend on repetitions: the key
+	// must include the dataset override but not the repetition count.
+	lo := Cell{System: Redis, Nodes: 1, LoadOnly: true, RecordsPerNode: 500, Repetitions: 3}
+	if k := r.key(lo); !strings.Contains(k, "/rpn=500") || strings.Contains(k, "reps=") {
+		t.Fatalf("load-only override key = %q", k)
+	}
+	// Negative overrides are validation errors.
+	for _, bad := range []string{
+		`{"name":"x","systems":["redis"],"workloads":[{"name":"R"}],"nodes":[1],"recordsPerNode":-1}`,
+		`{"name":"x","systems":["redis"],"workloads":[{"name":"R"}],"nodes":[1],"repetitions":-2}`,
+	} {
+		if _, err := ParseScenario([]byte(bad)); err == nil {
+			t.Fatalf("negative override accepted: %s", bad)
+		}
+	}
+}

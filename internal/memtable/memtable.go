@@ -1,5 +1,22 @@
 // Package memtable implements a skip-list ordered in-memory table, the
 // write buffer of an LSM tree (Cassandra's Memtable, HBase's MemStore).
+//
+// The skip list is arena-backed: nodes, their variable-height towers, the
+// field-header slices and the field payload bytes are all carved from
+// chunked arenas owned by the memtable, so a steady-state Put performs no
+// per-operation heap allocation (a fresh chunk is allocated every few
+// hundred entries). Field bytes are COPIED on insert — the memtable owns
+// its payload memory — which is what lets callers reuse one fields buffer
+// across operations (see store.CopiesOnIngest). Keys are strings and
+// therefore immutable; they are retained, not copied.
+//
+// Ownership note: Get/Scan/iterators return views of the memtable's arena.
+// A later Put that replaces a key with same-sized fields overwrites those
+// bytes in place, so a value read before a simulated park may observe the
+// newer write after it — the same "state as of the last positioning I/O"
+// semantics the LSM scan path documents. Entries handed to a flush
+// (All/Iter) are frozen: flushing swaps the whole memtable out, and a
+// frozen memtable's arena is never written again.
 package memtable
 
 import "math/rand"
@@ -12,69 +29,185 @@ type Entry struct {
 	Fields [][]byte
 }
 
+// node is one skip-list element. The tower holds the node's forward
+// pointers (length = the node's height) and is a sub-slice of an arena
+// block, so a node costs exactly its height — not maxHeight — pointers.
 type node struct {
 	entry Entry
-	next  [maxHeight]*node
+	// keyPfx/keyPfx2 are the key's first 16 bytes as two big-endian
+	// integers (zero padded), so the search hot loop orders nodes with
+	// one or two register compares and falls back to a byte-wise compare
+	// only on a double tie. Sound because zero-padded big-endian prefix
+	// order is a coarsening of lexicographic order: pfx(a) < pfx(b)
+	// implies a < b, and equal prefixes decide nothing either way. The
+	// benchmark's 25-byte keys ("user" + 21 hashed digits) resolve almost
+	// every comparison inside the first two words.
+	keyPfx  uint64
+	keyPfx2 uint64
+	payload int64 // key + field bytes, tracked for replace accounting
+	tower   []*node
 }
 
+// keyPrefix packs bytes [off, off+8) of k big-endian, zero padded.
+func keyPrefix(k string, off int) uint64 {
+	var p uint64
+	for i := 0; i < 8 && off+i < len(k); i++ {
+		p |= uint64(k[off+i]) << (56 - 8*i)
+	}
+	return p
+}
+
+// Arena chunk sizing. Nodes and towers are pointer-dense and fixed-count;
+// byte chunks hold copied field payloads.
+const (
+	nodeChunk  = 256
+	towerChunk = 1024 // avg tower height is 4/3, so this outlives nodeChunk
+	byteChunk  = 16 << 10
+	fieldChunk = 1280 // [] byte headers; 5 per entry for the benchmark schema
+)
+
 // Memtable is an ordered map from string keys to field lists, implemented
-// as a skip list. It is not safe for concurrent use (simulated processes
-// run one at a time).
+// as an arena-backed skip list. It is not safe for concurrent use
+// (simulated processes run one at a time).
 type Memtable struct {
 	head   *node
 	height int
 	n      int
 	bytes  int64
 	rng    *rand.Rand
+
+	// randBits buffers 2-bit tower-height draws so most Puts consume no
+	// fresh value from rng at all.
+	randBits uint64
+	randN    int
+
+	// arena chunks. Exhausted chunks are abandoned to the GC reference
+	// held by the nodes carved from them; only the active chunk is
+	// retained here.
+	nodes  []node
+	towers []*node
+	bytesA []byte
+	fields [][]byte
 }
 
 // New creates an empty memtable with a deterministic tower-height source.
 func New(seed int64) *Memtable {
-	return &Memtable{
-		head:   &node{},
+	m := &Memtable{
 		height: 1,
 		rng:    rand.New(rand.NewSource(seed)),
 	}
+	m.head = m.newNode(maxHeight)
+	return m
 }
 
-func entryBytes(key string, fields [][]byte) int64 {
-	b := int64(len(key))
-	for _, f := range fields {
+// newNode carves a node with an h-pointer tower from the arenas.
+func (m *Memtable) newNode(h int) *node {
+	if len(m.nodes) == cap(m.nodes) {
+		m.nodes = make([]node, 0, nodeChunk)
+	}
+	m.nodes = m.nodes[:len(m.nodes)+1]
+	nd := &m.nodes[len(m.nodes)-1]
+	if cap(m.towers)-len(m.towers) < h {
+		m.towers = make([]*node, 0, towerChunk)
+	}
+	m.towers = m.towers[:len(m.towers)+h]
+	nd.tower = m.towers[len(m.towers)-h : len(m.towers) : len(m.towers)]
+	return nd
+}
+
+// copyBytes copies b into the byte arena and returns the owned copy.
+func (m *Memtable) copyBytes(b []byte) []byte {
+	if cap(m.bytesA)-len(m.bytesA) < len(b) {
+		size := byteChunk
+		if len(b) > size {
+			size = len(b)
+		}
+		m.bytesA = make([]byte, 0, size)
+	}
+	m.bytesA = m.bytesA[:len(m.bytesA)+len(b)]
+	dst := m.bytesA[len(m.bytesA)-len(b) : len(m.bytesA) : len(m.bytesA)]
+	copy(dst, b)
+	return dst
+}
+
+// copyFields copies the field set into the arenas (headers and payload)
+// and returns the owned copy plus its payload byte count.
+func (m *Memtable) copyFields(fields [][]byte) ([][]byte, int64) {
+	n := len(fields)
+	if cap(m.fields)-len(m.fields) < n {
+		size := fieldChunk
+		if n > size {
+			size = n
+		}
+		m.fields = make([][]byte, 0, size)
+	}
+	m.fields = m.fields[:len(m.fields)+n]
+	dst := m.fields[len(m.fields)-n : len(m.fields) : len(m.fields)]
+	var b int64
+	for i, f := range fields {
+		dst[i] = m.copyBytes(f)
 		b += int64(len(f))
 	}
-	return b
+	return dst, b
 }
 
+// randomHeight draws a geometric(1/4) tower height from buffered random
+// bits: two bits per level, one rng word per 32 level tests.
 func (m *Memtable) randomHeight() int {
 	h := 1
-	for h < maxHeight && m.rng.Intn(4) == 0 {
+	for h < maxHeight {
+		if m.randN == 0 {
+			m.randBits = m.rng.Uint64()
+			m.randN = 32
+		}
+		bits := m.randBits & 3
+		m.randBits >>= 2
+		m.randN--
+		if bits != 0 {
+			break
+		}
 		h++
 	}
 	return h
 }
 
 // findGreaterOrEqual returns the first node with key >= k and fills prev
-// with the rightmost node before it on each level.
+// with the rightmost node before it on each level. The paper-scale figure
+// runs spend a third of their host CPU here, so the loop orders nodes by
+// integer key prefix and only falls back to a byte-wise compare on ties.
 func (m *Memtable) findGreaterOrEqual(k string, prev *[maxHeight]*node) *node {
+	pfx, pfx2 := keyPrefix(k, 0), keyPrefix(k, 8)
 	x := m.head
 	for lvl := m.height - 1; lvl >= 0; lvl-- {
-		for x.next[lvl] != nil && x.next[lvl].entry.Key < k {
-			x = x.next[lvl]
+		for nxt := x.tower[lvl]; nxt != nil; nxt = x.tower[lvl] {
+			if nxt.keyPfx != pfx {
+				if nxt.keyPfx > pfx {
+					break
+				}
+			} else if nxt.keyPfx2 != pfx2 {
+				if nxt.keyPfx2 > pfx2 {
+					break
+				}
+			} else if nxt.entry.Key >= k {
+				break
+			}
+			x = nxt
 		}
 		if prev != nil {
 			prev[lvl] = x
 		}
 	}
-	return x.next[0]
+	return x.tower[0]
 }
 
-// Put inserts or replaces the value for key.
+// Put inserts or replaces the value for key, copying the field bytes into
+// the memtable's arena. The caller keeps ownership of fields and may
+// reuse it immediately.
 func (m *Memtable) Put(key string, fields [][]byte) {
 	var prev [maxHeight]*node
 	x := m.findGreaterOrEqual(key, &prev)
 	if x != nil && x.entry.Key == key {
-		m.bytes += entryBytes(key, fields) - entryBytes(x.entry.Key, x.entry.Fields)
-		x.entry.Fields = fields
+		m.replace(x, fields)
 		return
 	}
 	h := m.randomHeight()
@@ -84,13 +217,45 @@ func (m *Memtable) Put(key string, fields [][]byte) {
 		}
 		m.height = h
 	}
-	nd := &node{entry: Entry{Key: key, Fields: fields}}
+	nd := m.newNode(h)
+	owned, fieldBytes := m.copyFields(fields)
+	nd.entry = Entry{Key: key, Fields: owned}
+	nd.keyPfx, nd.keyPfx2 = keyPrefix(key, 0), keyPrefix(key, 8)
+	nd.payload = int64(len(key)) + fieldBytes
 	for lvl := 0; lvl < h; lvl++ {
-		nd.next[lvl] = prev[lvl].next[lvl]
-		prev[lvl].next[lvl] = nd
+		nd.tower[lvl] = prev[lvl].tower[lvl]
+		prev[lvl].tower[lvl] = nd
 	}
 	m.n++
-	m.bytes += entryBytes(key, fields)
+	m.bytes += nd.payload
+}
+
+// replace overwrites an existing node's fields. When the new field set has
+// the same shape (count and per-field length) the bytes are copied in
+// place; otherwise fresh arena space is carved and the old space is left
+// to the arena (reclaimed when the memtable is dropped after flush).
+func (m *Memtable) replace(x *node, fields [][]byte) {
+	sameShape := len(fields) == len(x.entry.Fields)
+	if sameShape {
+		for i, f := range fields {
+			if len(f) != len(x.entry.Fields[i]) {
+				sameShape = false
+				break
+			}
+		}
+	}
+	var fieldBytes int64
+	if sameShape {
+		for i, f := range fields {
+			copy(x.entry.Fields[i], f)
+			fieldBytes += int64(len(f))
+		}
+	} else {
+		x.entry.Fields, fieldBytes = m.copyFields(fields)
+	}
+	newPayload := int64(len(x.entry.Key)) + fieldBytes
+	m.bytes += newPayload - x.payload
+	x.payload = newPayload
 }
 
 // Get returns the fields for key and whether it was present.
@@ -108,7 +273,7 @@ func (m *Memtable) Scan(start string, count int) []Entry {
 	x := m.findGreaterOrEqual(start, nil)
 	for x != nil && len(out) < count {
 		out = append(out, x.entry)
-		x = x.next[0]
+		x = x.tower[0]
 	}
 	return out
 }
@@ -122,7 +287,7 @@ func (m *Memtable) Bytes() int64 { return m.bytes }
 // All returns every entry in key order (used when flushing to an SSTable).
 func (m *Memtable) All() []Entry {
 	out := make([]Entry, 0, m.n)
-	for x := m.head.next[0]; x != nil; x = x.next[0] {
+	for x := m.head.tower[0]; x != nil; x = x.tower[0] {
 		out = append(out, x.entry)
 	}
 	return out
@@ -130,7 +295,7 @@ func (m *Memtable) All() []Entry {
 
 // Iter calls fn for each entry in key order until fn returns false.
 func (m *Memtable) Iter(fn func(Entry) bool) {
-	for x := m.head.next[0]; x != nil; x = x.next[0] {
+	for x := m.head.tower[0]; x != nil; x = x.tower[0] {
 		if !fn(x.entry) {
 			return
 		}
@@ -158,4 +323,4 @@ func (it Iterator) Valid() bool { return it.x != nil }
 func (it Iterator) Entry() Entry { return it.x.entry }
 
 // Next advances to the following entry in key order.
-func (it *Iterator) Next() { it.x = it.x.next[0] }
+func (it *Iterator) Next() { it.x = it.x.tower[0] }

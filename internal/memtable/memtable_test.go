@@ -178,12 +178,106 @@ func TestPropertyScanMatchesSortedRef(t *testing.T) {
 	}
 }
 
-func BenchmarkPut(b *testing.B) {
+// TestPutAllocBudget pins the arena contract: a steady-state insert
+// performs no per-operation heap allocation — only the amortized chunk
+// allocations, well under 0.1 allocs/op.
+func TestPutAllocBudget(t *testing.T) {
+	const n = 4096
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%013d", i)
+	}
+	fields := [][]byte{
+		[]byte("0123456780"), []byte("0123456781"), []byte("0123456782"),
+		[]byte("0123456783"), []byte("0123456784"),
+	}
 	m := New(1)
-	v := f1("0123456789")
+	i := 0
+	avg := testing.AllocsPerRun(n-1, func() {
+		m.Put(keys[i], fields)
+		i++
+	})
+	if avg > 0.1 {
+		t.Fatalf("Put allocates %.3f allocs/op in steady state, want amortized ~0", avg)
+	}
+}
+
+// TestReplaceAllocBudget pins that a same-shape replace copies in place:
+// zero allocations, not even amortized arena growth.
+func TestReplaceAllocBudget(t *testing.T) {
+	m := New(1)
+	m.Put("key0000000000001", [][]byte{[]byte("0123456789")})
+	repl := [][]byte{[]byte("9876543210")}
+	avg := testing.AllocsPerRun(1000, func() {
+		m.Put("key0000000000001", repl)
+	})
+	if avg != 0 {
+		t.Fatalf("same-shape replace allocates %.3f allocs/op, want 0", avg)
+	}
+	if m.Len() != 1 || m.Bytes() != 26 {
+		t.Fatalf("after replaces: Len=%d Bytes=%d, want 1/26", m.Len(), m.Bytes())
+	}
+}
+
+// TestPutCopiesFields pins the copy-on-ingest contract: the memtable owns
+// its payload bytes, so mutating (or reusing) the caller's buffer after
+// Put must not change stored values.
+func TestPutCopiesFields(t *testing.T) {
+	m := New(1)
+	buf := [][]byte{[]byte("aaaa"), []byte("bbbb")}
+	m.Put("k1", buf)
+	copy(buf[0], "XXXX")
+	copy(buf[1], "YYYY")
+	m.Put("k2", buf)
+	v1, _ := m.Get("k1")
+	v2, _ := m.Get("k2")
+	if string(v1[0]) != "aaaa" || string(v1[1]) != "bbbb" {
+		t.Fatalf("k1 = %q/%q: stored value aliased the caller's buffer", v1[0], v1[1])
+	}
+	if string(v2[0]) != "XXXX" || string(v2[1]) != "YYYY" {
+		t.Fatalf("k2 = %q/%q, want the mutated buffer's contents", v2[0], v2[1])
+	}
+}
+
+// TestReplaceDifferentShape covers the arena-recarve branch: replacing
+// with a different field count or size must not corrupt earlier values.
+func TestReplaceDifferentShape(t *testing.T) {
+	m := New(1)
+	m.Put("a", [][]byte{[]byte("0123456789")})
+	m.Put("b", [][]byte{[]byte("0123456789")})
+	m.Put("a", [][]byte{[]byte("xy"), []byte("longer-than-before")})
+	va, _ := m.Get("a")
+	vb, _ := m.Get("b")
+	if len(va) != 2 || string(va[0]) != "xy" || string(va[1]) != "longer-than-before" {
+		t.Fatalf("a = %q", va)
+	}
+	if len(vb) != 1 || string(vb[0]) != "0123456789" {
+		t.Fatalf("b = %q: neighbor corrupted by reshaped replace", vb)
+	}
+	if m.Bytes() != 1+20+1+10 {
+		t.Fatalf("Bytes = %d, want 32", m.Bytes())
+	}
+}
+
+// BenchmarkMemtablePut measures the steady-state insert path with keys
+// built outside the timed loop, so the reported allocs/op are the
+// memtable's own (tower nodes, field copies), not the caller's key
+// construction.
+func BenchmarkMemtablePut(b *testing.B) {
+	const pool = 1 << 20
+	keys := make([]string, pool)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%013d", i)
+	}
+	fields := [][]byte{
+		[]byte("0123456780"), []byte("0123456781"), []byte("0123456782"),
+		[]byte("0123456783"), []byte("0123456784"),
+	}
+	m := New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Put(fmt.Sprintf("key%09d", i), v)
+		m.Put(keys[i%pool], fields)
 	}
 }
 

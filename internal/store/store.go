@@ -68,10 +68,40 @@ func MakeFields(i int64) Fields { return MakeFieldsSized(i, FieldBytes) }
 // field (0 or negative means the default FieldBytes), for workloads that
 // vary record size. The default size reproduces MakeFields exactly: nine
 // zero-padded digits of i then the field index; larger fields repeat that
-// 10-byte pattern, so byte accounting scales without new entropy.
+// 10-byte pattern, so byte accounting scales without new entropy. All
+// fields share one backing slab, so a record costs 2 allocations (header
+// slice + slab) instead of the historical 6.
 func MakeFieldsSized(i int64, fieldBytes int) Fields {
+	return FillFields(nil, i, fieldBytes)
+}
+
+// FillFields is MakeFieldsSized writing into a caller-owned buffer: when
+// dst has NumFields entries each with capacity for fieldBytes bytes, the
+// field patterns are written in place and no allocation happens. A nil or
+// mis-shaped dst is (re)built as a fresh slab. It returns the filled
+// buffer, which callers keep for the next record.
+//
+// Reusing one buffer across operations is only sound against stores that
+// copy field bytes on ingest — gate the reuse on CopiesOnIngest.
+func FillFields(dst Fields, i int64, fieldBytes int) Fields {
 	if fieldBytes <= 0 {
 		fieldBytes = FieldBytes
+	}
+	fit := len(dst) == NumFields
+	if fit {
+		for _, f := range dst {
+			if cap(f) < fieldBytes {
+				fit = false
+				break
+			}
+		}
+	}
+	if !fit {
+		dst = make(Fields, NumFields)
+		slab := make([]byte, NumFields*fieldBytes)
+		for j := range dst {
+			dst[j] = slab[j*fieldBytes : (j+1)*fieldBytes : (j+1)*fieldBytes]
+		}
 	}
 	var pat [FieldBytes]byte
 	v := i % 1e9
@@ -82,16 +112,36 @@ func MakeFieldsSized(i int64, fieldBytes int) Fields {
 		pat[k] = '0' + byte(v%10)
 		v /= 10
 	}
-	f := make(Fields, NumFields)
-	for j := range f {
+	for j := range dst {
 		pat[FieldBytes-1] = '0' + byte(j)
-		b := make([]byte, fieldBytes)
+		b := dst[j][:fieldBytes]
 		for k := 0; k < len(b); k += FieldBytes {
 			copy(b[k:], pat[:])
 		}
-		f[j] = b
+		dst[j] = b
 	}
-	return f
+	return dst
+}
+
+// Clone returns a deep copy of f (headers and bytes). Write paths that
+// retain fields beyond the operation's return — e.g. a mutation applied
+// asynchronously after the client is acknowledged — must clone first when
+// the caller may be reusing a FillFields buffer.
+func (f Fields) Clone() Fields {
+	if f == nil {
+		return nil
+	}
+	out := make(Fields, len(f))
+	total := 0
+	for _, v := range f {
+		total += len(v)
+	}
+	slab := make([]byte, 0, total)
+	for i, v := range f {
+		slab = append(slab, v...)
+		out[i] = slab[len(slab)-len(v) : len(slab) : len(slab)]
+	}
+	return out
 }
 
 // ErrNotFound is returned when a read misses.
@@ -104,6 +154,22 @@ var ErrScansUnsupported = errors.New("store: scans not supported")
 // ErrOverloaded is returned when a store rejects work (e.g. a Redis shard
 // out of memory).
 var ErrOverloaded = errors.New("store: node overloaded")
+
+// IngestCopier is implemented by stores whose Insert/Update/Load paths
+// copy field bytes before retaining them (the memtable-backed engines:
+// their arena owns the payload). The B-tree models retain the caller's
+// slices and must not implement it (or must return false).
+type IngestCopier interface {
+	CopiesOnIngest() bool
+}
+
+// CopiesOnIngest reports whether s copies field bytes on ingest, meaning a
+// caller may reuse one FillFields buffer across writes. Stores that do not
+// declare the capability are assumed to retain the caller's slices.
+func CopiesOnIngest(s Store) bool {
+	c, ok := s.(IngestCopier)
+	return ok && c.CopiesOnIngest()
+}
 
 // Store is a simulated data store deployed across a cluster. All timed
 // methods run inside a simulation process and advance virtual time by the

@@ -129,6 +129,86 @@ func TestMakeFieldsSized(t *testing.T) {
 	}
 }
 
+// TestFillFieldsMatchesMakeFields pins that the buffer-reuse path writes
+// exactly the bytes MakeFieldsSized builds, across sizes and reuse.
+func TestFillFieldsMatchesMakeFields(t *testing.T) {
+	var buf Fields
+	for _, size := range []int{0, FieldBytes, 7, 25, 200} {
+		for _, i := range []int64{0, 1, 42, 999_999_999, 1_000_000_001, -17} {
+			buf = FillFields(buf, i, size)
+			want := MakeFieldsSized(i, size)
+			if len(buf) != len(want) {
+				t.Fatalf("FillFields(%d,%d): %d fields, want %d", i, size, len(buf), len(want))
+			}
+			for j := range want {
+				if string(buf[j]) != string(want[j]) {
+					t.Fatalf("FillFields(%d,%d)[%d] = %q, want %q", i, size, j, buf[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFillFieldsReusesBuffer pins that a well-shaped buffer is reused,
+// not reallocated: the backing arrays must be stable across calls.
+func TestFillFieldsReusesBuffer(t *testing.T) {
+	buf := FillFields(nil, 1, FieldBytes)
+	p0 := &buf[0][0]
+	buf2 := FillFields(buf, 2, FieldBytes)
+	if &buf2[0][0] != p0 {
+		t.Fatal("FillFields reallocated a well-shaped buffer")
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		buf = FillFields(buf, 7, FieldBytes)
+	})
+	if avg != 0 {
+		t.Fatalf("FillFields reuse allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+// TestMakeFieldsAllocBudget pins the slab build: one header slice plus
+// one backing slab, never the historical 6 allocations.
+func TestMakeFieldsAllocBudget(t *testing.T) {
+	var i int64
+	avg := testing.AllocsPerRun(1000, func() {
+		MakeFieldsSized(i, 0)
+		i++
+	})
+	if avg > 2 {
+		t.Fatalf("MakeFieldsSized allocates %.1f allocs/op, want <= 2", avg)
+	}
+}
+
+// TestCloneDeepCopies pins Fields.Clone: equal bytes, disjoint storage.
+func TestCloneDeepCopies(t *testing.T) {
+	f := MakeFields(3)
+	c := f.Clone()
+	for j := range f {
+		if string(c[j]) != string(f[j]) {
+			t.Fatalf("clone field %d = %q, want %q", j, c[j], f[j])
+		}
+	}
+	copy(f[0], "XXXXXXXXXX")
+	if string(c[0]) == string(f[0]) {
+		t.Fatal("clone shares storage with the original")
+	}
+	if Fields(nil).Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+// BenchmarkMakeFields measures the per-record field construction every
+// load and insert pays (was 6 allocs/op: slice header + 5 field buffers;
+// the slab build is 2: header + one backing array).
+func BenchmarkMakeFields(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(MakeFields(int64(i))) != NumFields {
+			b.Fatal("bad fields")
+		}
+	}
+}
+
 // BenchmarkStoreKey pins the win of the fmt-free key builder (was
 // fmt.Sprintf: ~140 ns and 2 allocs/op; now ~43 ns and the single
 // unavoidable string conversion).

@@ -184,6 +184,11 @@ func New(c *cluster.Cluster, opts Options) *Store {
 // Name implements store.Store.
 func (s *Store) Name() string { return "cassandra" }
 
+// CopiesOnIngest implements store.IngestCopier: every write path lands in
+// an arena-backed memtable that copies field bytes (async replicas clone
+// before scheduling), so callers may reuse a fields buffer across writes.
+func (s *Store) CopiesOnIngest() bool { return true }
+
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return true }
 
@@ -256,6 +261,12 @@ func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
 	reps := s.replicas(key)
 	base.Roundtrip(p, coord.machine, base.ReqHeader+base.RecordWire, base.AckWire, func() {
 		coord.machine.Compute(p, s.opts.CoordCPU)
+		// Async replicas apply the mutation after the client is
+		// acknowledged, so they must not retain the caller's (possibly
+		// reused) fields buffer. One deep copy is shared by all of them:
+		// applyMutation never mutates it and the memtable copies on ingest.
+		var async store.Fields
+		cloned := false
 		// The coordinator waits for WriteConsistency acknowledgements; the
 		// remaining replicas apply the mutation in the background.
 		for i, rep := range reps {
@@ -271,9 +282,14 @@ func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
 				})
 				continue
 			}
+			if !cloned {
+				async = f.Clone()
+				cloned = true
+			}
+			fc := async
 			p.Engine().Go("cassandra-async-replica", func(bp *sim.Proc) {
 				bp.Sleep(coord.machine.NetDelay(base.ReqHeader + base.RecordWire))
-				s.applyMutation(bp, rep, key, f)
+				s.applyMutation(bp, rep, key, fc)
 			})
 		}
 	})

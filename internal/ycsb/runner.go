@@ -43,10 +43,19 @@ type Result struct {
 func Load(s store.Store, n int64) error { return LoadSized(s, n, store.FieldBytes) }
 
 // LoadSized is Load with fieldBytes-sized value fields per record, for
-// workloads that vary record size (0 means the default 10 bytes).
+// workloads that vary record size (0 means the default 10 bytes). Against
+// stores that copy on ingest it reuses one fields buffer for the whole
+// load, so a 10M-record load performs 10M field-buffer allocations fewer.
 func LoadSized(s store.Store, n int64, fieldBytes int) error {
+	reuse := store.CopiesOnIngest(s)
+	var buf store.Fields
 	for i := int64(0); i < n; i++ {
-		if err := s.Load(store.Key(i), store.MakeFieldsSized(i, fieldBytes)); err != nil {
+		if reuse {
+			buf = store.FillFields(buf, i, fieldBytes)
+		} else {
+			buf = store.MakeFieldsSized(i, fieldBytes)
+		}
+		if err := s.Load(store.Key(i), buf); err != nil {
 			return fmt.Errorf("ycsb: load record %d: %w", i, err)
 		}
 	}
@@ -85,9 +94,22 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 	e.Schedule(cfg.Warmup, func() { col.Begin(e.Now()) })
 	e.Schedule(cfg.Warmup+cfg.Measure, func() { col.Finish(e.Now()) })
 
+	// Stores that copy field bytes on ingest let each client reuse one
+	// fields buffer for every insert/update instead of allocating a fresh
+	// field set per operation.
+	reuseFields := store.CopiesOnIngest(cfg.Store)
+
 	for i := 0; i < cfg.Clients; i++ {
 		e.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
 			rng := p.Rand()
+			var fbuf store.Fields
+			makeFields := func(id int64) store.Fields {
+				if reuseFields {
+					fbuf = store.FillFields(fbuf, id, fieldBytes)
+					return fbuf
+				}
+				return store.MakeFieldsSized(id, fieldBytes)
+			}
 			// Desynchronize client start within one pacing interval.
 			if interval > 0 {
 				p.Sleep(sim.Time(rng.Int63n(int64(interval) + 1)))
@@ -106,10 +128,10 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 				case stats.OpInsert:
 					id := inserted
 					inserted++
-					err = cfg.Store.Insert(p, store.Key(id), store.MakeFieldsSized(id, fieldBytes))
+					err = cfg.Store.Insert(p, store.Key(id), makeFields(id))
 				case stats.OpUpdate:
 					id := chooser.Choose(inserted, rng.Float64(), rng.Float64())
-					err = cfg.Store.Update(p, store.Key(id), store.MakeFieldsSized(id, fieldBytes))
+					err = cfg.Store.Update(p, store.Key(id), makeFields(id))
 				}
 				if err != nil {
 					col.RecordError()

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Emit a JSON perf baseline (ns/op, B/op, allocs/op) for the tracked
+# hot-path benchmarks, so future PRs have a trajectory to diff against:
+#
+#   scripts/bench_baseline.sh             # writes BENCH_PR4.json
+#   scripts/bench_baseline.sh out.json    # custom path
+#   BENCHTIME=1000000x scripts/bench_baseline.sh   # higher fidelity
+#
+# allocs/op is exact at any BENCHTIME; ns/op is only meaningful on an
+# otherwise idle machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR4.json}"
+bt="${BENCHTIME:-100000x}"
+
+{
+  go test -run '^$' -bench 'BenchmarkEngineSchedule$|BenchmarkLSMGet$|BenchmarkLSMScan$|BenchmarkLSMInsert$' -benchtime "$bt" -benchmem .
+  go test -run '^$' -bench 'BenchmarkStoreKey$|BenchmarkMakeFields$' -benchtime "$bt" -benchmem ./internal/store
+  go test -run '^$' -bench 'BenchmarkMemtablePut$' -benchtime "$bt" -benchmem ./internal/memtable
+  go test -run '^$' -bench 'BenchmarkAppendPeriodic$' -benchtime "$bt" -benchmem ./internal/wal
+} | awk -v benchtime="$bt" '
+  /^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")     ns = $(i-1)
+      if ($i == "B/op")      bytes = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    lines[n++] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs)
+  }
+  END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", benchtime
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    printf "  }\n}\n"
+  }
+' > "$out"
+echo "wrote $out" >&2
+cat "$out" >&2
