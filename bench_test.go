@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/btree"
 	"repro/internal/cluster"
 	"repro/internal/harness"
 	"repro/internal/lsm"
@@ -284,6 +285,71 @@ func BenchmarkLSMInsertReuse(b *testing.B) {
 		}
 	})
 	e.Run(0)
+}
+
+// benchBTreeConfig mirrors the MySQL deployment's InnoDB shape (94-row
+// leaves, 512-way internals, default 1024-page pool — evictions included,
+// since the load phase pays them too on small pools).
+func benchBTreeConfig() btree.Config {
+	return btree.Config{LeafCap: 94, InternalCap: 512}
+}
+
+// benchBTreeData precomputes benchmark-shaped keys and field sets so the
+// B-tree benches measure tree cost, not key formatting.
+func benchBTreeData(n int) ([]string, [][][]byte) {
+	keys := make([]string, n)
+	vals := make([][][]byte, n)
+	for i := range keys {
+		keys[i] = store.Key(int64(i))
+		vals[i] = store.MakeFields(int64(i))
+	}
+	return keys, vals
+}
+
+// BenchmarkBTreeInsert measures the per-record insert path (workload-phase
+// inserts, and the load phase when btree-bulk=off): prefix-compared
+// descent, leaf insert, splits, intrusive buffer-pool touches.
+func BenchmarkBTreeInsert(b *testing.B) {
+	keys, vals := benchBTreeData(b.N)
+	tr := btree.New(benchBTreeConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i], vals[i])
+	}
+}
+
+// BenchmarkBTreeBulkLoad measures the deferred bulk build the load phase
+// uses by default: buffer the batch, then one construction pass with no
+// per-touch buffer-pool work and a stamp-rebuilt pool.
+func BenchmarkBTreeBulkLoad(b *testing.B) {
+	keys, vals := benchBTreeData(b.N)
+	tr := btree.New(benchBTreeConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Load(keys[i], vals[i])
+	}
+	_ = tr.Len() // Len seals: the deferred build runs inside the timer
+}
+
+// BenchmarkBTreeUpdate measures the read-modify-write path MySQL/Voldemort
+// updates charge: a clean descent plus an in-place leaf rewrite.
+func BenchmarkBTreeUpdate(b *testing.B) {
+	const n = 100_000
+	keys, vals := benchBTreeData(n)
+	tr := btree.New(benchBTreeConfig())
+	for i := 0; i < n; i++ {
+		tr.Load(keys[i], vals[i])
+	}
+	tr.Len() // seal outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := tr.Update(keys[i%n], vals[i%n]); !ok {
+			b.Fatal("update missed a loaded key")
+		}
+	}
 }
 
 // BenchmarkLSMScan measures the 50-row merged range-scan path.

@@ -54,6 +54,7 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress output")
 		format     = flag.String("format", "table", "output format: table or csv")
 		explain    = flag.String("explain", "", "diagnose one cell: system:nodes:workload[:D], e.g. cassandra:4:R or hbase:8:W:D")
+		quick      = flag.Bool("quick", false, "quick-fidelity preset: scale 0.001, measure 0.3, warmup 0.1, nodes 1,2,4 (explicit flags still win)")
 		reps       = flag.Int("reps", 1, "independent executions to average per cell")
 		parallel   = flag.Int("parallel", 0, "concurrent cell executions (0 = GOMAXPROCS, 1 = serial)")
 		scenario   = flag.String("scenario", "", "run a scenario grid from a JSON file (see examples/scenarios/)")
@@ -61,6 +62,25 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *quick {
+		// The CI determinism gate and the verify recipe share this preset;
+		// flags the user set explicitly keep their values.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["scale"] {
+			*scale = 0.001
+		}
+		if !set["measure"] {
+			*measure = 0.3
+		}
+		if !set["warmup"] {
+			*warmup = 0.1
+		}
+		if !set["nodes"] {
+			*nodes = "1,2,4"
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

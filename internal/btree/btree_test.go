@@ -224,6 +224,234 @@ func TestPropertyScanMatchesRef(t *testing.T) {
 	}
 }
 
+// --- Deferred bulk build ---
+
+func TestBulkLoadEmptyBatch(t *testing.T) {
+	tr := New(small())
+	// No Load calls at all: every accessor works on the empty tree.
+	if tr.Len() != 0 || tr.Height() != 1 || tr.Pages() != 1 {
+		t.Fatalf("empty tree shape: len=%d h=%d pages=%d", tr.Len(), tr.Height(), tr.Pages())
+	}
+	if _, ok, _ := tr.Get("x"); ok {
+		t.Fatal("empty tree found a key")
+	}
+	// A Put after the (trivial) seal still works.
+	tr.Put("a", fields("v"))
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after post-seal Put", tr.Len())
+	}
+}
+
+func TestBulkLoadSingleKey(t *testing.T) {
+	tr := New(small())
+	tr.Load("k", fields("v"))
+	v, ok, _ := tr.Get("k")
+	if !ok || string(v[0]) != "v" {
+		t.Fatalf("Get after single-key bulk load = %v, %v", v, ok)
+	}
+	if tr.Len() != 1 || tr.Height() != 1 {
+		t.Fatalf("single-key tree shape: len=%d h=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestBulkLoadDuplicateLastWins(t *testing.T) {
+	tr := New(small())
+	for i := 0; i < 100; i++ {
+		tr.Load(fmt.Sprintf("k%03d", i), fields("first"))
+	}
+	tr.Load("k042", fields("second"))
+	tr.Load("k042", fields("third"))
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d with in-batch duplicates, want 100", tr.Len())
+	}
+	v, ok, _ := tr.Get("k042")
+	if !ok || string(v[0]) != "third" {
+		t.Fatalf("duplicate key resolved to %q, want last write", v[0])
+	}
+}
+
+func TestBulkLoadAcrossMultipleBatches(t *testing.T) {
+	tr := New(small())
+	for i := 0; i < 500; i++ {
+		tr.Load(fmt.Sprintf("k%04d", i), fields("a"))
+	}
+	if tr.Len() != 500 { // seals batch one
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 500; i < 1000; i++ {
+		tr.Load(fmt.Sprintf("k%04d", i), fields("b"))
+	}
+	got, _ := tr.Scan("", 1000)
+	if len(got) != 1000 {
+		t.Fatalf("scan after second batch returned %d, want 1000", len(got))
+	}
+}
+
+// TestBulkBuildEquivalence pins the bulk path's contract: a bulk-loaded
+// tree is bit-equivalent to a per-record-built one — same shape, same page
+// count, same Get/Scan results, and (the strong half) identical I/O
+// charges on every subsequent operation, including buffer-pool misses and
+// dirty write-backs under an eviction-heavy pool, which requires the
+// rebuilt pool's contents, recency order and dirty flags to match the
+// per-touch-maintained pool exactly.
+func TestBulkBuildEquivalence(t *testing.T) {
+	cfg := small()
+	cfg.BufferPages = 7 // tiny: constant eviction, so pool state divergence shows up immediately
+	perRecord := New(cfg)
+	bulk := New(cfg)
+	rng := rand.New(rand.NewSource(11))
+	perm := rng.Perm(3000)
+	for _, i := range perm { // hash-permuted arrival, like the benchmark's load
+		k := fmt.Sprintf("k%06d", i)
+		perRecord.Put(k, fields(fmt.Sprintf("v%d", i)))
+		bulk.Load(k, fields(fmt.Sprintf("v%d", i)))
+	}
+	if bulk.Len() != perRecord.Len() || bulk.Height() != perRecord.Height() || bulk.Pages() != perRecord.Pages() {
+		t.Fatalf("shape diverged: bulk len=%d h=%d pages=%d, per-record len=%d h=%d pages=%d",
+			bulk.Len(), bulk.Height(), bulk.Pages(), perRecord.Len(), perRecord.Height(), perRecord.Pages())
+	}
+	if bulk.DiskBytes() != perRecord.DiskBytes() {
+		t.Fatalf("disk bytes diverged: %d vs %d", bulk.DiskBytes(), perRecord.DiskBytes())
+	}
+	// Identical op sequence, compared op by op: values AND charges.
+	opRng := rand.New(rand.NewSource(12))
+	for op := 0; op < 4000; op++ {
+		switch opRng.Intn(4) {
+		case 0:
+			k := fmt.Sprintf("k%06d", opRng.Intn(3500)) // some misses
+			va, oka, ioa := perRecord.Get(k)
+			vb, okb, iob := bulk.Get(k)
+			if oka != okb || ioa != iob {
+				t.Fatalf("op %d: Get(%s) diverged: (%v,%+v) vs (%v,%+v)", op, k, oka, ioa, okb, iob)
+			}
+			if oka && string(va[0]) != string(vb[0]) {
+				t.Fatalf("op %d: Get(%s) values diverged", op, k)
+			}
+		case 1:
+			k := fmt.Sprintf("k%06d", 3000+opRng.Intn(500))
+			ioa := perRecord.Put(k, fields("new"))
+			iob := bulk.Put(k, fields("new"))
+			if ioa != iob {
+				t.Fatalf("op %d: Put(%s) charges diverged: %+v vs %+v", op, k, ioa, iob)
+			}
+		case 2:
+			k := fmt.Sprintf("k%06d", opRng.Intn(3000))
+			founda, ioa := perRecord.Update(k, fields("upd"))
+			foundb, iob := bulk.Update(k, fields("upd"))
+			if founda != foundb || ioa != iob {
+				t.Fatalf("op %d: Update(%s) diverged: (%v,%+v) vs (%v,%+v)", op, k, founda, ioa, foundb, iob)
+			}
+		case 3:
+			k := fmt.Sprintf("k%06d", opRng.Intn(3000))
+			ra, ioa := perRecord.Scan(k, 20)
+			rb, iob := bulk.Scan(k, 20)
+			if len(ra) != len(rb) || ioa != iob {
+				t.Fatalf("op %d: Scan(%s) diverged: (%d,%+v) vs (%d,%+v)", op, k, len(ra), ioa, len(rb), iob)
+			}
+		}
+	}
+}
+
+// --- In-place updates ---
+
+func TestUpdateRewritesInPlace(t *testing.T) {
+	tr := New(small())
+	for i := 0; i < 1000; i++ {
+		tr.Put(fmt.Sprintf("k%05d", i), fields("old"))
+	}
+	pages, height, n := tr.Pages(), tr.Height(), tr.Len()
+	found, io := tr.Update("k00500", fields("new"))
+	if !found {
+		t.Fatal("update of existing key reported missing")
+	}
+	if io.PagesTouched == 0 {
+		t.Fatal("update touched no pages")
+	}
+	if tr.Pages() != pages || tr.Height() != height || tr.Len() != n {
+		t.Fatalf("in-place update changed shape: pages %d->%d height %d->%d len %d->%d",
+			pages, tr.Pages(), height, tr.Height(), n, tr.Len())
+	}
+	v, _, _ := tr.Get("k00500")
+	if string(v[0]) != "new" {
+		t.Fatalf("updated value = %q", v[0])
+	}
+}
+
+func TestUpdateMissingKeyPaysDescent(t *testing.T) {
+	tr := New(small())
+	for i := 0; i < 1000; i++ {
+		tr.Put(fmt.Sprintf("k%05d", i), fields("v"))
+	}
+	found, io := tr.Update("zzz", fields("x"))
+	if found {
+		t.Fatal("update found an absent key")
+	}
+	if io.PagesTouched < tr.Height() {
+		t.Fatalf("missed update touched %d pages, want a full descent (height %d)", io.PagesTouched, tr.Height())
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("missed update changed Len to %d", tr.Len())
+	}
+}
+
+func TestUpdateDirtiesOnlyLeaf(t *testing.T) {
+	cfg := small()
+	cfg.BufferPages = 4
+	tr := New(cfg)
+	for i := 0; i < 5000; i++ {
+		tr.Put(fmt.Sprintf("k%07d", i), fields("v"))
+	}
+	// Drain dirty pages out of the tiny pool with clean reads, then watch
+	// an update: its descent reads internals clean, so later evictions of
+	// those internals must not charge write-backs for them.
+	for i := 0; i < 5000; i += 7 {
+		tr.Get(fmt.Sprintf("k%07d", i))
+	}
+	_, io := tr.Update("k0002500", fields("w"))
+	if io.PagesTouched < 2 {
+		t.Fatalf("update touched %d pages, want a descent", io.PagesTouched)
+	}
+	// Updates never allocate: repeated updates keep the page count fixed.
+	pages := tr.Pages()
+	for i := 0; i < 2000; i++ {
+		tr.Update(fmt.Sprintf("k%07d", i), fields("w2"))
+	}
+	if tr.Pages() != pages {
+		t.Fatalf("2000 updates grew pages %d -> %d", pages, tr.Pages())
+	}
+}
+
+// Property: bulk and per-record construction agree with a reference map
+// under arbitrary interleavings of batches and point ops.
+func TestPropertyBulkAgainstMap(t *testing.T) {
+	f := func(batch []uint16, extra []uint16) bool {
+		tr := New(small())
+		ref := map[string]bool{}
+		for _, k := range batch {
+			key := fmt.Sprintf("k%05d", k)
+			tr.Load(key, fields("v"))
+			ref[key] = true
+		}
+		for _, k := range extra {
+			key := fmt.Sprintf("x%05d", k)
+			tr.Put(key, fields("v"))
+			ref[key] = true
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if _, ok, _ := tr.Get(k); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkPut(b *testing.B) {
 	tr := New(Config{})
 	b.ResetTimer()

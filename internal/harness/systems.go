@@ -78,9 +78,15 @@ func Deploy(seed int64, sys System, spec cluster.Spec, scale float64) (*Deployme
 //	hbase:     autoflush=on|off
 //	redis:     sharding=balanced|ring
 //	voltdb:    async=on|off
-//	mysql:     binlog=on|off
+//	mysql:     binlog=on|off, btree-bulk=on|off
+//	voldemort: btree-bulk=on|off
 //	any:       conns=<per-node client connections> (resolved by the
 //	           runner, not the store)
+//
+// btree-bulk=off forces the B-tree stores' legacy per-record load path in
+// place of the deferred bulk build (host-side A/B profiling knob; both
+// paths produce bit-identical trees, pool states and charges, so the
+// variant changes the cell's cache key but never its numbers).
 //
 // An empty Variants string is the paper's configuration; such cells share
 // cache entries (and seeds) with the corresponding figure cells.
@@ -266,10 +272,20 @@ func deployHBase(c *cluster.Cluster, scale float64, kvs [][2]string) (store.Stor
 }
 
 func deployVoldemort(c *cluster.Cluster, kvs [][2]string) (store.Store, error) {
-	if len(kvs) > 0 {
-		return nil, fmt.Errorf("harness: voldemort does not support variant %q", kvs[0][0])
+	opts := voldemort.Options{BDBCacheFraction: 0.75}
+	for _, kv := range kvs {
+		switch kv[0] {
+		case "btree-bulk":
+			on, err := onOff(kv[0], kv[1])
+			if err != nil {
+				return nil, err
+			}
+			opts.LegacyLoad = !on
+		default:
+			return nil, fmt.Errorf("harness: voldemort does not support variant %q", kv[0])
+		}
 	}
-	return voldemort.New(c, voldemort.Options{BDBCacheFraction: 0.75}), nil
+	return voldemort.New(c, opts), nil
 }
 
 func deployRedis(c *cluster.Cluster, scale float64, kvs [][2]string) (store.Store, error) {
@@ -329,6 +345,12 @@ func deployMySQL(c *cluster.Cluster, spec cluster.Spec, scale float64, clients i
 				return nil, err
 			}
 			opts.BinLog = on
+		case "btree-bulk":
+			on, err := onOff(kv[0], kv[1])
+			if err != nil {
+				return nil, err
+			}
+			opts.LegacyLoad = !on
 		default:
 			return nil, fmt.Errorf("harness: mysql does not support variant %q", kv[0])
 		}
@@ -375,19 +397,19 @@ func Conns(sys System, nodes int, clusterD bool) int {
 func SupportsScans(sys System) bool { return sys != Voldemort }
 
 // SupportsUpdates reports whether the system's model covers in-place
-// updates. The store models distinguish only the operations the paper's
-// append-only APM workload exercised: the LSM stores (Cassandra, HBase)
-// physically upsert and the in-memory stores (Redis, VoltDB) overwrite, so
-// update traffic is faithfully modeled there. The B-tree stores route every
-// write through an insert-calibrated path — MySQL grows its MVCC history
-// backlog and binlog as for a fresh row, Voldemort charges BDB insert I/O
-// and log appends — so an update mix would silently inherit insert costs;
-// the harness rejects it instead of mis-modeling it.
-func SupportsUpdates(sys System) bool { return sys != MySQL && sys != Voldemort }
+// updates: since the B-tree stores gained modeled read-modify-write paths,
+// all six systems do. The LSM stores (Cassandra, HBase) physically upsert,
+// the in-memory stores (Redis, VoltDB) overwrite, and the B-tree stores
+// (MySQL, Voldemort) charge an index descent plus an in-place leaf rewrite
+// with redo/binlog (MySQL, which also grows its MVCC undo backlog) or WAL
+// (Voldemort) appends — distinct from their insert paths, which allocate
+// and split pages. The predicate is retained as the single point the
+// support matrix, scenario gate, and tests read.
+func SupportsUpdates(sys System) bool { return true }
 
 // SupportsWorkload reports whether the system can run the workload mix
-// (scan mixes exclude Voldemort; update mixes are limited to the systems
-// whose models cover in-place updates).
+// (scan mixes exclude Voldemort; update mixes run on all six systems now
+// that the B-tree stores model read-modify-write updates).
 func SupportsWorkload(sys System, wl ycsb.Workload) bool {
 	if wl.HasScans() && !SupportsScans(sys) {
 		return false

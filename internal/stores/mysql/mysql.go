@@ -31,6 +31,12 @@ import (
 type Options struct {
 	ReadCPU  sim.Time // server-side point SELECT cost (parse, plan, btree)
 	WriteCPU sim.Time // INSERT cost before log/btree I/O
+	// UpdateCPU is the server-side cost of an in-place UPDATE ... WHERE
+	// key = ?: one statement that locates the row and rewrites it, so it
+	// lands between ReadCPU (it skips result serialization) and
+	// ReadCPU+WriteCPU (parse/plan and the index descent are paid once,
+	// not twice).
+	UpdateCPU sim.Time
 	// ScanRowCPU is the per-visited-row cost of a range SELECT.
 	ScanRowCPU sim.Time
 	// TailRowCPU is the per-row cost of the sharded client's unbounded
@@ -60,6 +66,11 @@ type Options struct {
 	// row overhead and a ~70% fill factor -> 2.5 GB of table for 10M rows;
 	// the binlog doubles it to the ~5 GB/node of Fig 17).
 	LeafCap int
+	// LegacyLoad disables the B-tree's deferred bulk build and loads via
+	// per-record tree inserts instead (the pre-bulk path, exposed as the
+	// btree-bulk=off variant for A/B profiling). Both paths produce
+	// bit-identical trees and charges; legacy is just slower host-side.
+	LegacyLoad bool
 	// ClientThreads is the total number of YCSB threads. Every client
 	// thread holds a JDBC connection to every server (§6), so each server
 	// pays per-operation thread/connection management overhead that grows
@@ -76,6 +87,9 @@ func (o *Options) defaults() {
 	}
 	if o.WriteCPU == 0 {
 		o.WriteCPU = 330 * sim.Microsecond
+	}
+	if o.UpdateCPU == 0 {
+		o.UpdateCPU = 370 * sim.Microsecond
 	}
 	if o.ScanRowCPU == 0 {
 		o.ScanRowCPU = 900 * sim.Nanosecond
@@ -240,9 +254,38 @@ func (s *Store) Insert(p *sim.Proc, key string, f store.Fields) error {
 	return s.write(p, key, f)
 }
 
-// Update implements store.Store.
+// Update implements store.Store: a read-modify-write UPDATE ... WHERE
+// key = ?. Unlike Insert, the row is rewritten in place — the index descent
+// pays page-read charges, only the leaf holding the row is dirtied, and no
+// page is allocated — while the redo log and (statement-based) binary log
+// still append, and the old row version joins the MVCC purge backlog as an
+// undo record. Updating an absent key pays the full descent and returns
+// store.ErrNotFound.
 func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
-	return s.write(p, key, f)
+	sh := s.shard(key)
+	var found bool
+	base.Roundtrip(p, sh.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
+		sh.node.Compute(p, s.opts.UpdateCPU+s.opts.connOverhead())
+		var io btree.IOStats
+		found, io = sh.db.Update(key, f)
+		chargeIO(p, sh.node, io, 16<<10)
+		if !found {
+			return
+		}
+		sh.redo.Append(p, int64(store.RawRecordBytes), false)
+		if s.opts.BinLog {
+			// Statement-based logging: an UPDATE statement costs about
+			// what the INSERT that created the row did.
+			sh.binlog.Append(p, binlogBytesPerRecord, false)
+			sh.binBytes += binlogBytesPerRecord
+		}
+		sh.unpurged++ // the overwritten version joins the undo history
+		s.ensurePurger(p.Engine(), sh)
+	})
+	if !found {
+		return store.ErrNotFound
+	}
+	return nil
 }
 
 // Scan implements store.Store.
@@ -320,10 +363,17 @@ func toRecords(es []btree.Entry, count int) []store.Record {
 	return out
 }
 
-// Load implements store.Store.
+// Load implements store.Store. The default path buffers into the B-tree's
+// deferred bulk build (one batched construction pass when the workload
+// starts); LegacyLoad forces the per-record insert path, which produces a
+// bit-identical tree at higher host cost.
 func (s *Store) Load(key string, f store.Fields) error {
 	sh := s.shard(key)
-	sh.db.Put(key, f)
+	if s.opts.LegacyLoad {
+		sh.db.Put(key, f)
+	} else {
+		sh.db.Load(key, f)
+	}
 	if s.opts.BinLog {
 		sh.binBytes += binlogBytesPerRecord
 		sh.node.AddDiskUsage(binlogBytesPerRecord)

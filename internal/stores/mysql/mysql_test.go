@@ -145,3 +145,84 @@ func TestDefaultConstructor(t *testing.T) {
 		t.Fatal("Default must enable the binary log (paper configuration)")
 	}
 }
+
+func TestUpdateRewritesInPlace(t *testing.T) {
+	e, s := deploy(1, Options{BinLog: true})
+	for i := int64(0); i < 5000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	tableBytes := s.shards[0].db.DiskBytes()
+	binBefore := s.shards[0].binBytes
+	var err error
+	var backlogPeak int64
+	e.Go("u", func(p *sim.Proc) {
+		for i := int64(0); i < 500; i++ {
+			if uerr := s.Update(p, store.Key(i), store.MakeFields(i)); uerr != nil {
+				err = uerr
+			}
+		}
+		// Observed before the background purge thread drains it.
+		backlogPeak = s.shards[0].unpurged
+	})
+	e.Run(0)
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if got := s.shards[0].db.DiskBytes(); got != tableBytes {
+		t.Fatalf("updates grew the table %d -> %d bytes; must rewrite in place", tableBytes, got)
+	}
+	if s.shards[0].binBytes <= binBefore {
+		t.Fatal("updates must append to the statement-based binary log")
+	}
+	if backlogPeak == 0 {
+		t.Fatal("updates must grow the MVCC undo backlog")
+	}
+}
+
+func TestUpdateMissingKeyErrors(t *testing.T) {
+	e, s := deploy(1, Options{})
+	s.Load(store.Key(1), store.MakeFields(1))
+	e.Go("u", func(p *sim.Proc) {
+		if err := s.Update(p, store.Key(99999), store.MakeFields(99999)); err != store.ErrNotFound {
+			t.Errorf("update of absent key: err = %v, want ErrNotFound", err)
+		}
+	})
+	e.Run(0)
+}
+
+// TestLegacyLoadEquivalent pins the btree-bulk=off contract at the store
+// level: the legacy per-record load produces the same footprint and the
+// same simulated read cost as the deferred bulk build.
+func TestLegacyLoadEquivalent(t *testing.T) {
+	eBulk, bulk := deploy(2, Options{BinLog: true})
+	eLegacy, legacy := deploy(2, Options{BinLog: true, LegacyLoad: true})
+	for i := int64(0); i < 20000; i++ {
+		bulk.Load(store.Key(i), store.MakeFields(i))
+		legacy.Load(store.Key(i), store.MakeFields(i))
+	}
+	if bulk.DiskUsage() != legacy.DiskUsage() {
+		t.Fatalf("disk usage diverged: bulk %d vs legacy %d", bulk.DiskUsage(), legacy.DiskUsage())
+	}
+	var latBulk, latLegacy sim.Time
+	eBulk.Go("r", func(p *sim.Proc) {
+		start := p.Now()
+		s := bulk
+		for i := int64(0); i < 100; i++ {
+			s.Read(p, store.Key(i*97))
+		}
+		latBulk = p.Now() - start
+	})
+	eLegacy.Go("r", func(p *sim.Proc) {
+		start := p.Now()
+		s := legacy
+		for i := int64(0); i < 100; i++ {
+			s.Read(p, store.Key(i*97))
+		}
+		latLegacy = p.Now() - start
+	})
+	eBulk.Run(0)
+	eLegacy.Run(0)
+	if latBulk != latLegacy {
+		t.Fatalf("read cost diverged: bulk %v vs legacy %v", latBulk, latLegacy)
+	}
+}

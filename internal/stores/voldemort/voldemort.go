@@ -37,6 +37,15 @@ type Options struct {
 	// the JVM and socket stack).
 	ReadCPU  sim.Time
 	WriteCPU sim.Time
+	// UpdateCPU is the server-side cost of replacing an existing record: a
+	// versioned put that locates the row (the vector-clock check BDB's
+	// read-modify-write performs) and rewrites the leaf in place, so it
+	// lands between ReadCPU and ReadCPU+WriteCPU.
+	UpdateCPU sim.Time
+	// LegacyLoad disables the B-tree's deferred bulk build and loads via
+	// per-record tree inserts (the btree-bulk=off variant). Both paths
+	// produce bit-identical trees and charges.
+	LegacyLoad bool
 	// PartitionsPerNode is the Voldemort partition count per node (§4.3).
 	PartitionsPerNode int
 	// BDBCacheFraction is the share of node RAM given to the BerkeleyDB
@@ -55,6 +64,9 @@ func (o *Options) defaults() {
 	}
 	if o.WriteCPU == 0 {
 		o.WriteCPU = 120 * sim.Microsecond
+	}
+	if o.UpdateCPU == 0 {
+		o.UpdateCPU = 160 * sim.Microsecond
 	}
 	if o.PartitionsPerNode == 0 {
 		o.PartitionsPerNode = 2
@@ -168,9 +180,29 @@ func (s *Store) Insert(p *sim.Proc, key string, f store.Fields) error {
 	return s.write(p, key, f)
 }
 
-// Update implements store.Store.
+// Update implements store.Store: a read-modify-write versioned put. The
+// BDB descent pays page-read charges, only the leaf holding the record is
+// dirtied (no page allocated or split), and the write-ahead log appends
+// the replacing record. Updating an absent key pays the full descent and
+// returns store.ErrNotFound.
 func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
-	return s.write(p, key, f)
+	sv := s.server(key)
+	sv.pool.Acquire(p)
+	var found bool
+	base.Roundtrip(p, sv.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
+		sv.node.Compute(p, s.opts.UpdateCPU)
+		var io btree.IOStats
+		found, io = sv.db.Update(key, f)
+		chargeIO(p, sv.node, io)
+		if found {
+			sv.log.Append(p, int64(store.RawRecordBytes), false)
+		}
+	})
+	sv.pool.Release()
+	if !found {
+		return store.ErrNotFound
+	}
+	return nil
 }
 
 // Scan implements store.Store: unsupported, as in the paper's YCSB client.
@@ -178,10 +210,15 @@ func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, erro
 	return nil, store.ErrScansUnsupported
 }
 
-// Load implements store.Store.
+// Load implements store.Store: buffered into the B-tree's deferred bulk
+// build unless LegacyLoad forces per-record inserts.
 func (s *Store) Load(key string, f store.Fields) error {
 	sv := s.server(key)
-	sv.db.Put(key, f)
+	if s.opts.LegacyLoad {
+		sv.db.Put(key, f)
+	} else {
+		sv.db.Load(key, f)
+	}
 	return nil
 }
 

@@ -136,3 +136,64 @@ func TestDiskUsageGrowsWithLoad(t *testing.T) {
 		t.Fatalf("bytes/record = %.0f, want ~550 (Fig 17: 5.5 GB / 10M)", per)
 	}
 }
+
+func TestUpdateRewritesInPlace(t *testing.T) {
+	e, s := deploy(1, Options{})
+	for i := int64(0); i < 5000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	diskBefore := s.DiskUsage()
+	var err error
+	e.Go("u", func(p *sim.Proc) {
+		for i := int64(0); i < 500; i++ {
+			if uerr := s.Update(p, store.Key(i), store.MakeFields(i)); uerr != nil {
+				err = uerr
+			}
+		}
+	})
+	e.Run(0)
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if got := s.DiskUsage(); got != diskBefore {
+		t.Fatalf("updates grew BDB %d -> %d bytes; must rewrite the leaf in place", diskBefore, got)
+	}
+}
+
+func TestUpdateLatencyBetweenReadAndReadPlusWrite(t *testing.T) {
+	e, s := deploy(1, Options{})
+	for i := int64(0); i < 5000; i++ {
+		s.Load(store.Key(i), store.MakeFields(i))
+	}
+	var read, update sim.Time
+	e.Go("o", func(p *sim.Proc) {
+		start := p.Now()
+		s.Read(p, store.Key(100))
+		read = p.Now() - start
+		start = p.Now()
+		if err := s.Update(p, store.Key(100), store.MakeFields(100)); err != nil {
+			t.Errorf("update: %v", err)
+		}
+		update = p.Now() - start
+	})
+	e.Run(0)
+	var o Options
+	o.defaults()
+	if update <= read {
+		t.Fatalf("update %v should exceed a bare read %v (RMW pays the leaf rewrite)", update, read)
+	}
+	if update >= read+sim.Time(float64(o.WriteCPU)*2) {
+		t.Fatalf("update %v should stay well under read+2x write (%v + %v)", update, read, o.WriteCPU)
+	}
+}
+
+func TestUpdateMissingKeyErrors(t *testing.T) {
+	e, s := deploy(1, Options{})
+	s.Load(store.Key(1), store.MakeFields(1))
+	e.Go("u", func(p *sim.Proc) {
+		if err := s.Update(p, store.Key(99999), store.MakeFields(99999)); err != store.ErrNotFound {
+			t.Errorf("update of absent key: err = %v, want ErrNotFound", err)
+		}
+	})
+	e.Run(0)
+}
