@@ -101,6 +101,10 @@ type Node struct {
 	diskUsed int64
 	nextDisk int
 	net      NetSpec
+	// slowFactor inflates CPU and disk service times when > 1 (the
+	// slow-node fault: a degraded machine — failing disk, thermal
+	// throttling, a noisy neighbour). Zero means normal speed.
+	slowFactor float64
 }
 
 // New builds a cluster on the given engine.
@@ -118,10 +122,28 @@ func New(e *sim.Engine, spec Spec) *Cluster {
 	return c
 }
 
+// SetSlowFactor degrades (f > 1) or restores (f <= 1) the node's CPU and
+// disk service rates. Used by slow-node fault injection; network paths are
+// unaffected (the NIC is not what fails in the modeled scenario).
+func (n *Node) SetSlowFactor(f float64) {
+	if f <= 1 {
+		f = 0
+	}
+	n.slowFactor = f
+}
+
+// slowed inflates a service time by the node's slow factor, if set.
+func (n *Node) slowed(d sim.Time) sim.Time {
+	if n.slowFactor > 1 {
+		return sim.Time(float64(d) * n.slowFactor)
+	}
+	return d
+}
+
 // Compute spends d of CPU time on one of the node's cores (queueing if all
 // cores are busy).
 func (n *Node) Compute(p *sim.Proc, d sim.Time) {
-	p.Use(n.CPU, d)
+	p.Use(n.CPU, n.slowed(d))
 }
 
 // transferTime converts a byte count and MB/s rate to virtual time.
@@ -147,7 +169,7 @@ func (n *Node) DiskRead(p *sim.Proc, bytes int64, random bool) {
 	if random {
 		d += n.Spec.DiskSeek
 	}
-	p.Use(n.disk(), d)
+	p.Use(n.disk(), n.slowed(d))
 }
 
 // DiskWrite performs a disk write.
@@ -156,7 +178,7 @@ func (n *Node) DiskWrite(p *sim.Proc, bytes int64, random bool) {
 	if random {
 		d += n.Spec.DiskSeek
 	}
-	p.Use(n.disk(), d)
+	p.Use(n.disk(), n.slowed(d))
 }
 
 // DiskBusy reports average utilization across the node's disks.

@@ -1,0 +1,290 @@
+// Package fault injects failures into a running simulation as part of the
+// deterministic event stream. A fault schedule is a list of events — node
+// kills and restarts, slowdowns, replica lag, compaction storms — each with
+// a virtual-time window expressed as a fraction of the run, so the same
+// schedule stresses a run at paper fidelity and at CI quick fidelity alike.
+//
+// Injection is driven by simulation processes scheduled up front on the
+// cell's own engine, so a faulted run is exactly as deterministic as a
+// clean one: same seed, same schedule, same bytes out.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Kind names a fault shape.
+type Kind string
+
+// Fault kinds.
+const (
+	// KillNode takes a node down at Start. If End > Start the node is
+	// restarted at End (paying recovery replay); otherwise it stays dead.
+	KillNode Kind = "kill-node"
+	// RestartNode restarts an already-dead node at Start (for schedules
+	// that pair a bare kill with a later independent restart).
+	RestartNode Kind = "restart-node"
+	// SlowNode multiplies the node's CPU and disk service times by Factor
+	// (default 4) over [Start, End).
+	SlowNode Kind = "slow-node"
+	// ReplicaLag delays asynchronous replica application targeting the
+	// node by Factor milliseconds (default 50) over [Start, End). Only
+	// stores with async replication honor it.
+	ReplicaLag Kind = "replica-lag"
+	// CompactionStorm runs Factor (default 2) background streams of bulk
+	// disk I/O on the node over [Start, End), contending with foreground
+	// requests for the spindles.
+	CompactionStorm Kind = "compaction-storm"
+)
+
+// Event is one scheduled fault against one node. Start and End are
+// fractions of the whole run (warmup + measure) in [0, 1]; End <= Start
+// means "no end": a kill never restarts, a windowed fault runs to the end
+// of the run. Factor is kind-specific (see the Kind constants); zero picks
+// the kind's default.
+type Event struct {
+	Kind   Kind
+	Node   int
+	Start  float64
+	End    float64
+	Factor float64
+}
+
+// Schedule is an ordered fault list. Injection order follows slice order,
+// with ties in virtual time broken by scheduling order — deterministic.
+type Schedule []Event
+
+// defaults per kind.
+const (
+	defaultSlowFactor = 4
+	defaultLagMillis  = 50
+	defaultStormFlows = 2
+	stormChunk        = 4 << 20 // bytes per storm I/O burst
+	stormPause        = 2 * sim.Millisecond
+)
+
+// String renders the schedule in its canonical compact form, e.g.
+// "kill-node@1[0.3:0.6];slow-node@0[0.2:0.8]x4". The form round-trips
+// through ParseSchedule and is what the harness uses as a cache-key
+// fragment, so it must be stable.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, ev := range s {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s@%d[%s", ev.Kind, ev.Node, formatFrac(ev.Start))
+		if ev.End > ev.Start {
+			b.WriteByte(':')
+			b.WriteString(formatFrac(ev.End))
+		}
+		b.WriteByte(']')
+		if ev.Factor != 0 {
+			b.WriteByte('x')
+			b.WriteString(formatFrac(ev.Factor))
+		}
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+func formatFrac(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ParseSchedule parses the canonical form produced by String:
+// one or more ";"-separated events "kind@node[start]", "kind@node[start:end]",
+// optionally suffixed "x<factor>".
+func ParseSchedule(s string) (Schedule, error) {
+	var out Schedule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fault: empty schedule %q", s)
+	}
+	return out, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	bad := func() (Event, error) {
+		return Event{}, fmt.Errorf("fault: malformed event %q (want kind@node[start:end]xfactor)", s)
+	}
+	at := strings.IndexByte(s, '@')
+	lb := strings.IndexByte(s, '[')
+	rb := strings.IndexByte(s, ']')
+	if at < 0 || lb < at || rb < lb {
+		return bad()
+	}
+	ev := Event{Kind: Kind(s[:at])}
+	node, err := strconv.Atoi(s[at+1 : lb])
+	if err != nil {
+		return bad()
+	}
+	ev.Node = node
+	window := s[lb+1 : rb]
+	if c := strings.IndexByte(window, ':'); c >= 0 {
+		if ev.End, err = strconv.ParseFloat(window[c+1:], 64); err != nil {
+			return bad()
+		}
+		window = window[:c]
+	}
+	if ev.Start, err = strconv.ParseFloat(window, 64); err != nil {
+		return bad()
+	}
+	if rest := s[rb+1:]; rest != "" {
+		if rest[0] != 'x' {
+			return bad()
+		}
+		if ev.Factor, err = strconv.ParseFloat(rest[1:], 64); err != nil {
+			return bad()
+		}
+	}
+	return ev, nil
+}
+
+// Validate checks kinds, fractions and factors. Node indices are checked
+// against the deployment size at injection time (Inject), since one
+// scenario expands into cells of different node counts.
+func (s Schedule) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("fault: empty schedule")
+	}
+	for i, ev := range s {
+		switch ev.Kind {
+		case KillNode, RestartNode, SlowNode, ReplicaLag, CompactionStorm:
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %q", i, ev.Kind)
+		}
+		if ev.Node < 0 {
+			return fmt.Errorf("fault: event %d targets negative node %d", i, ev.Node)
+		}
+		if ev.Start < 0 || ev.Start > 1 || ev.End < 0 || ev.End > 1 {
+			return fmt.Errorf("fault: event %d window [%g:%g] outside [0,1]", i, ev.Start, ev.End)
+		}
+		if ev.Factor < 0 {
+			return fmt.Errorf("fault: event %d has negative factor %g", i, ev.Factor)
+		}
+	}
+	return nil
+}
+
+// Target is the degraded-mode contract a store implements to accept kill
+// and restart faults. Implementations route requests for a down node to
+// store.ErrUnavailable (or fail over to replicas), and pay a modeled
+// WAL/commitlog/snapshot recovery replay inside RestartNode before the
+// node serves again.
+type Target interface {
+	// KillNode takes node i down immediately: its buffered log tail is
+	// lost, its background processes stop, and requests it must serve
+	// fail until restart.
+	KillNode(i int)
+	// RestartNode brings node i back, paying recovery replay in p's
+	// virtual time before the node is marked up.
+	RestartNode(p *sim.Proc, i int)
+}
+
+// ReplicaLagger is optionally implemented by stores with asynchronous
+// replication (cassandra) to accept replica-lag faults.
+type ReplicaLagger interface {
+	// SetReplicaLag adds extra delay to async replica application
+	// targeting node i (zero restores normal behavior).
+	SetReplicaLag(i int, extra sim.Time)
+}
+
+// Inject validates sched against the deployment and schedules every fault
+// transition on e. total is the run length (warmup + measure) that the
+// events' fractional windows resolve against; resolution truncates to the
+// engine's nanosecond grid, so equal fractions always collide identically.
+// The store st must implement Target for kill/restart events and
+// ReplicaLagger for replica-lag events; slow-node and compaction-storm act
+// on the cluster nodes directly.
+func Inject(e *sim.Engine, nodes []*cluster.Node, st any, sched Schedule, total sim.Time) error {
+	if err := sched.Validate(); err != nil {
+		return err
+	}
+	for i, ev := range sched {
+		if ev.Node >= len(nodes) {
+			return fmt.Errorf("fault: event %d targets node %d of a %d-node deployment", i, ev.Node, len(nodes))
+		}
+		switch ev.Kind {
+		case KillNode, RestartNode:
+			if _, ok := st.(Target); !ok {
+				return fmt.Errorf("fault: store does not support node kill/restart")
+			}
+		case ReplicaLag:
+			if _, ok := st.(ReplicaLagger); !ok {
+				return fmt.Errorf("fault: store has no asynchronous replication to lag")
+			}
+		}
+	}
+	now := e.Now()
+	for i, ev := range sched {
+		ev := ev
+		// start/end are delays relative to injection time (the run start).
+		start := sim.Time(ev.Start * float64(total))
+		end := total
+		if ev.End > ev.Start {
+			end = sim.Time(ev.End * float64(total))
+		}
+		name := fmt.Sprintf("fault-%d-%s", i, ev.Kind)
+		switch ev.Kind {
+		case KillNode:
+			t := st.(Target)
+			e.GoAt(start, name, func(p *sim.Proc) { t.KillNode(ev.Node) })
+			if ev.End > ev.Start {
+				e.GoAt(end, name+"-restart", func(p *sim.Proc) { t.RestartNode(p, ev.Node) })
+			}
+		case RestartNode:
+			t := st.(Target)
+			e.GoAt(start, name, func(p *sim.Proc) { t.RestartNode(p, ev.Node) })
+		case SlowNode:
+			factor := ev.Factor
+			if factor == 0 {
+				factor = defaultSlowFactor
+			}
+			n := nodes[ev.Node]
+			e.GoAt(start, name, func(p *sim.Proc) { n.SetSlowFactor(factor) })
+			e.GoAt(end, name+"-end", func(p *sim.Proc) { n.SetSlowFactor(1) })
+		case ReplicaLag:
+			lagMS := ev.Factor
+			if lagMS == 0 {
+				lagMS = defaultLagMillis
+			}
+			lag := sim.Time(lagMS * float64(sim.Millisecond))
+			rl := st.(ReplicaLagger)
+			e.GoAt(start, name, func(p *sim.Proc) { rl.SetReplicaLag(ev.Node, lag) })
+			e.GoAt(end, name+"-end", func(p *sim.Proc) { rl.SetReplicaLag(ev.Node, 0) })
+		case CompactionStorm:
+			flows := int(ev.Factor)
+			if flows <= 0 {
+				flows = defaultStormFlows
+			}
+			n := nodes[ev.Node]
+			endAt := now + end
+			for f := 0; f < flows; f++ {
+				e.GoAt(start, fmt.Sprintf("%s-flow%d", name, f), func(p *sim.Proc) {
+					// A compaction stream: large sequential reads and
+					// rewrites hogging the spindles until the window
+					// closes. No durable bytes are added — the storm
+					// models rewrite amplification, not data growth.
+					for p.Now() < endAt {
+						n.DiskRead(p, stormChunk, false)
+						n.DiskWrite(p, stormChunk, false)
+						p.Sleep(stormPause)
+					}
+				})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// A node-kill cell must show the availability dip during the fault window
+// and recovery after the restart — the tentpole acceptance check at test
+// fidelity.
+func TestNodeKillCellShowsDipAndRecovery(t *testing.T) {
+	r := NewRunner(Quick())
+	c := Cell{
+		System:   Cassandra,
+		Nodes:    4,
+		Workload: "R",
+		Faults:   "kill-node@1[0.4:0.7]",
+	}
+	res, err := r.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Windows
+	if w == nil || w.Windows() == 0 {
+		t.Fatal("faulted cell collected no windows")
+	}
+	// The schedule is fractions of warmup+measure; windows span only the
+	// measurement period. Classify each window by the fault's position.
+	cfg := r.Cfg
+	total := cfg.Warmup + cfg.Measure
+	killAt := sim.Time(0.4 * float64(total))
+	upAt := sim.Time(0.7 * float64(total))
+	var before, during, after float64
+	var nBefore, nDuring, nAfter int
+	for i := 0; i < w.Windows(); i++ {
+		mid := w.WindowStart(i) + w.Interval()/2
+		av := w.Availability(i)
+		switch {
+		case mid < killAt:
+			before += av
+			nBefore++
+		case mid < upAt:
+			during += av
+			nDuring++
+		default:
+			after += av
+			nAfter++
+		}
+	}
+	if nBefore == 0 || nDuring == 0 || nAfter == 0 {
+		t.Fatalf("fault window not covered: before=%d during=%d after=%d", nBefore, nDuring, nAfter)
+	}
+	before /= float64(nBefore)
+	during /= float64(nDuring)
+	after /= float64(nAfter)
+	if before < 0.99 {
+		t.Errorf("pre-fault availability = %g, want ~1", before)
+	}
+	if during > before-0.05 {
+		t.Errorf("availability did not dip during the kill: before=%g during=%g", before, during)
+	}
+	if after < during+0.05 {
+		t.Errorf("availability did not recover after restart: during=%g after=%g", during, after)
+	}
+	if res.Errors == 0 {
+		t.Error("node-kill run recorded no errors")
+	}
+}
+
+// Fault schedules extend the cache key only when present, so every
+// pre-existing cell keeps its key, seed, and cached result.
+func TestFaultKeyExtension(t *testing.T) {
+	r := NewRunner(Quick())
+	plain := Cell{System: Cassandra, Nodes: 4, Workload: "R"}
+	faulted := plain
+	faulted.Faults = "kill-node@1[0.4:0.7]"
+	pk, fk := r.key(plain), r.key(faulted)
+	if strings.Contains(pk, "flt=") {
+		t.Fatalf("plain cell key %q mentions faults", pk)
+	}
+	if !strings.HasPrefix(fk, pk) || !strings.HasSuffix(fk, "/flt=kill-node@1[0.4:0.7]") {
+		t.Fatalf("faulted key %q does not extend plain key %q", fk, pk)
+	}
+}
+
+// The scenario fault vocabulary round-trips into cells: every cell carries
+// the canonical schedule string, and validation rejects schedules that
+// target nodes outside the grid.
+func TestScenarioFaultWiring(t *testing.T) {
+	data := []byte(`{
+		"name": "kill-test",
+		"systems": ["cassandra"],
+		"workloads": [{"name": "R"}],
+		"nodes": [4],
+		"faults": [{"kind": "kill-node", "node": 1, "start": 0.4, "end": 0.7}]
+	}`)
+	s, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	want := fault.Schedule{{Kind: fault.KillNode, Node: 1, Start: 0.4, End: 0.7}}.String()
+	if cells[0].Faults != want {
+		t.Fatalf("cell faults = %q, want %q", cells[0].Faults, want)
+	}
+
+	bad := []byte(`{
+		"name": "oob",
+		"systems": ["cassandra"],
+		"workloads": [{"name": "R"}],
+		"nodes": [2],
+		"faults": [{"kind": "kill-node", "node": 3, "start": 0.4}]
+	}`)
+	if _, err := ParseScenario(bad); err == nil || !strings.Contains(err.Error(), "targets node 3") {
+		t.Fatalf("out-of-grid fault accepted: %v", err)
+	}
+}

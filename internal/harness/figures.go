@@ -22,6 +22,11 @@ type Figure struct {
 	XLabel string
 	YLabel string
 	Series []Series
+	// Appendix is extra pre-formatted detail appended verbatim after the
+	// table by Render and RenderCSV (e.g. a fault scenario's per-window
+	// recovery curves). Empty for every paper figure, so their rendered
+	// output is unchanged.
+	Appendix string
 }
 
 // Render formats the figure as an aligned text table (systems as columns).
@@ -70,6 +75,7 @@ func (f Figure) Render() string {
 		}
 		b.WriteByte('\n')
 	}
+	b.WriteString(f.Appendix)
 	return b.String()
 }
 
@@ -108,6 +114,7 @@ func (f Figure) RenderCSV() string {
 		}
 		b.WriteByte('\n')
 	}
+	b.WriteString(f.Appendix)
 	return b.String()
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -118,6 +119,11 @@ type Cell struct {
 	// seeds averaged per result); 0 keeps the config's. Ignored for
 	// LoadOnly cells, whose load is deterministic per seed.
 	Repetitions int
+	// Faults is a canonical fault schedule (fault.Schedule.String(), e.g.
+	// "kill-node@1[0.3:0.6]") injected into the run, with windows as
+	// fractions of warmup+measure. Empty means no faults; faulted cells
+	// also collect windowed quantiles/availability.
+	Faults string
 }
 
 // workload resolves the cell's operation mix: the inline Mix when set,
@@ -197,8 +203,12 @@ type CellResult struct {
 	UpdateLat  sim.Time
 	Ops        int64
 	Errors     int64
+	Timeouts   int64
 	// DiskBytesPaperScale is store disk usage rescaled to paper size.
 	DiskBytesPaperScale float64
+	// Windows holds the per-window recovery curve (nil unless the cell has
+	// faults); repetitions merge into one set of windows.
+	Windows *stats.WindowedLatency
 }
 
 // Runner executes and caches experiment cells so figures sharing the same
@@ -285,6 +295,9 @@ func (r *Runner) key(c Cell) string {
 	// part of the identity; a load's outcome doesn't depend on it.
 	if c.Repetitions > 0 && !c.LoadOnly {
 		k += fmt.Sprintf("/reps=%d", c.Repetitions)
+	}
+	if c.Faults != "" {
+		k += "/flt=" + c.Faults
 	}
 	return k
 }
@@ -406,6 +419,12 @@ func (r *Runner) measure(c Cell, key string) (CellResult, error) {
 		acc.UpdateLat += (res.UpdateLat - acc.UpdateLat) / sim.Time(rep+1)
 		acc.Ops += res.Ops
 		acc.Errors += res.Errors
+		acc.Timeouts += res.Timeouts
+		if acc.Windows != nil && res.Windows != nil {
+			if err := acc.Windows.Merge(res.Windows); err != nil {
+				return CellResult{}, err
+			}
+		}
 	}
 	return acc, nil
 }
@@ -465,6 +484,18 @@ func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
 	if err := ycsb.LoadSized(dep.Store, rv.records, rv.wl.FieldSize()); err != nil {
 		return CellResult{}, err
 	}
+	// Fault injection rides the cell's own event stream: the schedule's
+	// fractional windows resolve against warmup+measure, so the same
+	// schedule exercises paper and quick fidelity alike.
+	if c.Faults != "" {
+		sched, err := fault.ParseSchedule(c.Faults)
+		if err != nil {
+			return CellResult{}, err
+		}
+		if err := fault.Inject(dep.Engine, dep.Clust.Nodes, dep.Store, sched, r.Cfg.Warmup+r.Cfg.Measure); err != nil {
+			return CellResult{}, err
+		}
+	}
 	res, err := ycsb.Run(dep.Engine, ycsb.RunConfig{
 		Store:           dep.Store,
 		Workload:        rv.wl,
@@ -473,6 +504,7 @@ func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
 		InitialRecords:  rv.records,
 		Warmup:          r.Cfg.Warmup,
 		Measure:         r.Cfg.Measure,
+		TrackWindows:    c.Faults != "",
 	})
 	if err != nil {
 		return CellResult{}, err
@@ -486,7 +518,9 @@ func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
 		ScanLat:             res.MeanLatency(stats.OpScan),
 		Ops:                 res.Ops(),
 		Errors:              res.Errors(),
+		Timeouts:            res.Timeouts(),
 		DiskBytesPaperScale: float64(dep.Store.DiskUsage()) / r.Cfg.Scale,
+		Windows:             res.Windows,
 	}, nil
 }
 
@@ -525,6 +559,9 @@ func progressLine(c Cell, res CellResult) string {
 	}
 	if c.Variants != "" {
 		line += " [" + c.Variants + "]"
+	}
+	if c.Faults != "" {
+		line += " {" + c.Faults + "}"
 	}
 	return line
 }

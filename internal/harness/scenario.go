@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/ycsb"
 )
 
@@ -119,6 +121,50 @@ type Scenario struct {
 	// measured cell (0 keeps the config's; the paper reports the average
 	// of at least 3 executions).
 	Repetitions int `json:"repetitions,omitempty"`
+	// Faults injects a fault schedule into every cell of the grid. Window
+	// bounds are fractions of the run (warmup+measure), so one schedule
+	// works at paper and quick fidelity alike. Faulted cells cache and
+	// seed under extended keys and report per-window recovery curves in
+	// the figure appendix.
+	Faults []ScenarioFault `json:"faults,omitempty"`
+}
+
+// ScenarioFault is one fault event: "kill-node", "restart-node",
+// "slow-node", "replica-lag", or "compaction-storm" against one node, over
+// a virtual-time window given as fractions of the whole run.
+type ScenarioFault struct {
+	Kind string `json:"kind"`
+	Node int    `json:"node"`
+	// Start and End bound the fault window as fractions of warmup+measure
+	// in [0,1]. End <= Start means the fault does not end (a kill-node
+	// never restarts; a windowed fault runs to the end of the run).
+	Start float64 `json:"start"`
+	End   float64 `json:"end,omitempty"`
+	// Factor parameterizes the fault kind: slowdown multiplier for
+	// slow-node (default 4), extra lag in milliseconds for replica-lag
+	// (default 50), concurrent flows for compaction-storm (default 2).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// schedule converts the scenario's fault list into a validated schedule.
+func (s *Scenario) schedule() (fault.Schedule, error) {
+	if len(s.Faults) == 0 {
+		return nil, nil
+	}
+	sched := make(fault.Schedule, len(s.Faults))
+	for i, f := range s.Faults {
+		sched[i] = fault.Event{
+			Kind:   fault.Kind(f.Kind),
+			Node:   f.Node,
+			Start:  f.Start,
+			End:    f.End,
+			Factor: f.Factor,
+		}
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("harness: scenario %s: %w", s.Name, err)
+	}
+	return sched, nil
 }
 
 // scenarioMetrics maps metric names to extractors and Y-axis labels.
@@ -210,6 +256,23 @@ func (s *Scenario) Validate() error {
 	if s.Repetitions < 0 {
 		return fmt.Errorf("harness: scenario %s: negative repetitions %d", s.Name, s.Repetitions)
 	}
+	if _, err := s.schedule(); err != nil {
+		return err
+	}
+	if len(s.Faults) > 0 {
+		if s.LoadOnly {
+			return fmt.Errorf("harness: scenario %s: faults need a measured run, not loadOnly", s.Name)
+		}
+		// The target selector is per-cell node index; every grid size must
+		// contain the targeted nodes.
+		for _, f := range s.Faults {
+			for _, n := range s.Nodes {
+				if f.Node >= n {
+					return fmt.Errorf("harness: scenario %s: fault %s targets node %d but the grid includes %d-node clusters", s.Name, f.Kind, f.Node, n)
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -242,6 +305,14 @@ func (s *Scenario) series() ([]seriesSpec, []string, error) {
 	workloads := s.Workloads
 	if s.LoadOnly && len(workloads) == 0 {
 		workloads = []ScenarioWorkload{{}}
+	}
+	sched, err := s.schedule()
+	if err != nil {
+		return nil, nil, err
+	}
+	var faults string
+	if sched != nil {
+		faults = sched.String()
 	}
 	variants := s.Variants
 	if len(variants) == 0 {
@@ -279,6 +350,7 @@ func (s *Scenario) series() ([]seriesSpec, []string, error) {
 						LoadOnly:       s.LoadOnly,
 						RecordsPerNode: s.RecordsPerNode,
 						Repetitions:    s.Repetitions,
+						Faults:         faults,
 					}
 					if preset {
 						c.Workload = wl.Name
@@ -357,5 +429,43 @@ func (r *Runner) RunScenario(s *Scenario) (Figure, error) {
 		}
 		fig.Series = append(fig.Series, series)
 	}
+	if len(s.Faults) > 0 {
+		appendix, err := r.faultAppendix(specs)
+		if err != nil {
+			return Figure{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		fig.Appendix = appendix
+	}
 	return fig, nil
+}
+
+// faultAppendix renders each faulted cell's recovery curve: one row per
+// measurement window with throughput, tail latency and availability, so a
+// node-kill scenario shows the dip and the post-restart recovery (including
+// the modeled replay cost) without leaving the text figure.
+func (r *Runner) faultAppendix(specs []seriesSpec) (string, error) {
+	var b strings.Builder
+	for _, spec := range specs {
+		for _, c := range spec.cells {
+			res, err := r.Run(c) // cache hit: RunAll already measured it
+			if err != nil {
+				return "", err
+			}
+			w := res.Windows
+			if w == nil || w.Windows() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\nrecovery curve: %s n=%d {%s}\n", spec.label, c.Nodes, c.Faults)
+			fmt.Fprintf(&b, "%8s %12s %10s %10s %8s\n", "t(s)", "ops/s", "p99(ms)", "p999(ms)", "avail")
+			for i := 0; i < w.Windows(); i++ {
+				fmt.Fprintf(&b, "%8.2f %12.0f %10.3f %10.3f %8.3f\n",
+					(w.WindowStart(i) - w.Start()).Seconds(),
+					w.Throughput(i),
+					w.Quantile(i, 0.99).Seconds()*1e3,
+					w.Quantile(i, 0.999).Seconds()*1e3,
+					w.Availability(i))
+			}
+		}
+	}
+	return b.String(), nil
 }

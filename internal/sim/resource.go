@@ -74,28 +74,35 @@ func (r *Resource) TryAcquire() bool {
 	return false
 }
 
-// Release returns one unit and hands it to the first waiter, if any.
+// Release returns one unit and hands it to the first live waiter, if any.
+// Waiters whose process already finished (a kill-unwind can race with the
+// grant) are dropped rather than granted, so no unit leaks.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release of idle resource " + r.name)
 	}
 	r.account()
 	r.inUse--
-	if len(r.queue) > 0 {
+	for len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
+		if next.dead {
+			continue
+		}
 		r.account()
 		r.inUse++
 		next.Wake()
+		return
 	}
 }
 
 // Use acquires a unit, holds it for d, and releases it: the common pattern
-// for "spend d of service time on this component".
+// for "spend d of service time on this component". The release runs in a
+// defer so a process killed mid-hold returns the unit as it unwinds.
 func (p *Proc) Use(r *Resource, d Time) {
 	r.Acquire(p)
+	defer r.Release()
 	p.Sleep(d)
-	r.Release()
 }
 
 // Utilization returns the average fraction of capacity that was busy between

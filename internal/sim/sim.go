@@ -198,11 +198,27 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	dead   bool
+	// killed marks a process cancelled by Kill. The process unwinds the
+	// next time it reaches a cancellation point (Sleep or Park).
+	killed bool
+	// killable is true while the process is blocked at a cancellation
+	// point, i.e. Kill may resume it immediately. Resource waits are not
+	// cancellation points: a queued process must complete its acquisition
+	// (the grant is already accounted) and unwinds at its next Sleep/Park.
+	killable bool
+	// pendingWakes counts scheduled-but-undelivered wake events, so Kill
+	// never double-schedules a resume (two sends on an unbuffered resume
+	// channel with one receiver would deadlock the simulation).
+	pendingWakes int
 	// wakeFn is the event callback that resumes this process. It is built
 	// once at process creation and rescheduled for every Sleep/Wake, so the
 	// scheduler's hottest operation (context switch) allocates nothing.
 	wakeFn func()
 }
+
+// procKilled is the panic value used to unwind a killed process's stack.
+// It is recovered by the process wrapper and treated as a normal exit.
+type procKilled struct{}
 
 // Go starts fn as a new process at the current virtual time. The process
 // begins executing when the engine reaches the start event.
@@ -214,16 +230,31 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 func (e *Engine) GoAt(delay Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
 	p.wakeFn = func() {
+		p.pendingWakes--
+		if p.dead {
+			// The wake raced with the process's death (e.g. a timer fired
+			// after a kill-unwind); there is no goroutine left to resume.
+			return
+		}
 		p.resume <- struct{}{}
 		<-e.yield
 	}
 	e.procs++
 	e.Schedule(delay, func() {
 		go func() {
-			fn(p)
-			p.dead = true
-			e.procs--
-			e.yield <- struct{}{}
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(procKilled); !ok {
+						panic(r)
+					}
+				}
+				p.dead = true
+				e.procs--
+				e.yield <- struct{}{}
+			}()
+			if !p.killed {
+				fn(p)
+			}
 		}()
 		<-e.yield
 	})
@@ -251,25 +282,72 @@ func (p *Proc) park() {
 // wake schedules p to resume at now+delay, reusing the process's
 // pre-allocated wake callback.
 func (e *Engine) wake(p *Proc, delay Time) {
+	p.pendingWakes++
 	e.Schedule(delay, p.wakeFn)
+}
+
+// checkKilled unwinds the process if it has been cancelled.
+func (p *Proc) checkKilled() {
+	if p.killed {
+		panic(procKilled{})
+	}
 }
 
 // Sleep advances the process by d of virtual time.
 func (p *Proc) Sleep(d Time) {
+	p.checkKilled()
 	if d < 0 {
 		d = 0
 	}
 	p.eng.wake(p, d)
+	p.killable = true
 	p.park()
+	p.killable = false
+	p.checkKilled()
 }
 
 // Park blocks the process until another process or event calls Wake.
-func (p *Proc) Park() { p.park() }
+func (p *Proc) Park() {
+	p.checkKilled()
+	p.killable = true
+	p.park()
+	p.killable = false
+	p.checkKilled()
+}
 
 // Wake resumes a process parked with Park at the current virtual time.
 // Calling Wake on a process that is not parked is a programming error and
-// will deadlock the simulation; the engine cannot detect it cheaply.
+// will deadlock the simulation; the engine cannot detect it cheaply. The
+// exception is a process that already finished or was killed: such wakes
+// are dropped, so owners of long-lived background processes need not
+// synchronize Wake against teardown.
 func (p *Proc) Wake() { p.eng.wake(p, 0) }
+
+// Kill cancels the process. The cancellation is cooperative: the process
+// unwinds at its next cancellation point (Sleep or Park), releasing any
+// resources held through Use on the way out. A process blocked in Sleep or
+// Park when Kill is called is resumed immediately (a sleeping process's
+// already-scheduled timer doubles as the resume, so the unwind happens at
+// the timer). A process waiting in a Resource queue completes its
+// acquisition first — the grant accounting must stay balanced — and
+// unwinds at the next point after that. Kill is idempotent and a no-op on
+// a finished process.
+func (p *Proc) Kill() {
+	if p.dead || p.killed {
+		return
+	}
+	p.killed = true
+	if p.killable && p.pendingWakes == 0 {
+		p.eng.wake(p, 0)
+	}
+}
+
+// Killed reports whether Kill has been called; long-running process loops
+// may poll it to exit early between cancellation points.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Done reports whether the process has finished (returned or unwound).
+func (p *Proc) Done() bool { return p.dead }
 
 // WakeAfter resumes a parked process after delay.
 func (p *Proc) WakeAfter(delay Time) { p.eng.wake(p, delay) }

@@ -163,6 +163,7 @@ func (k OpKind) String() string {
 type Collector struct {
 	hists    [numOps]*Histogram
 	errors   int64
+	timeouts int64
 	start    sim.Time
 	end      sim.Time
 	started  bool
@@ -204,11 +205,23 @@ func (c *Collector) RecordError() {
 	c.errors++
 }
 
+// RecordTimeout counts an operation that completed but blew its SLO
+// deadline; it is excluded from the success histograms and throughput.
+func (c *Collector) RecordTimeout() {
+	if !c.Active() {
+		return
+	}
+	c.timeouts++
+}
+
 // Ops returns the number of successful operations recorded.
 func (c *Collector) Ops() int64 { return c.totalOps }
 
 // Errors returns the number of failed operations.
 func (c *Collector) Errors() int64 { return c.errors }
+
+// Timeouts returns the number of SLO-violating operations.
+func (c *Collector) Timeouts() int64 { return c.timeouts }
 
 // Window returns the measurement duration.
 func (c *Collector) Window() sim.Time {
@@ -238,6 +251,7 @@ type Summary struct {
 	Throughput float64
 	Ops        int64
 	Errors     int64
+	Timeouts   int64
 	Read       LatencySummary
 	Insert     LatencySummary
 	Update     LatencySummary
@@ -271,6 +285,7 @@ func (c *Collector) Summarize() Summary {
 		Throughput: c.Throughput(),
 		Ops:        c.totalOps,
 		Errors:     c.errors,
+		Timeouts:   c.timeouts,
 		Read:       summarize(c.hists[OpRead]),
 		Insert:     summarize(c.hists[OpInsert]),
 		Update:     summarize(c.hists[OpUpdate]),

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// WindowedLatency slices a run's operation outcomes into fixed-width time
+// windows, each with its own latency histogram and ok/failed counts. It is
+// what turns a node-kill run from one flat mean into an availability dip
+// and a recovery curve: per-window p99/p999 and availability can be read
+// off directly.
+//
+// An observation at exactly a window boundary t = start + k*interval lands
+// in window k (half-open windows [start+k*i, start+(k+1)*i)). Observations
+// before start are dropped; windows grow lazily as later observations
+// arrive, and never-touched windows report zero ops and full availability.
+type WindowedLatency struct {
+	start    sim.Time
+	interval sim.Time
+	wins     []latWindow
+}
+
+type latWindow struct {
+	hist *Histogram // lazily allocated: empty windows cost one struct
+	ok   int64
+	fail int64
+}
+
+// NewWindowedLatency creates a windowed recorder starting at start with the
+// given window width.
+func NewWindowedLatency(start, interval sim.Time) *WindowedLatency {
+	if interval <= 0 {
+		panic("stats: window interval must be positive")
+	}
+	return &WindowedLatency{start: start, interval: interval}
+}
+
+// idx returns the window index for now, growing the window list; -1 means
+// the observation predates the recorder.
+func (w *WindowedLatency) idx(now sim.Time) int {
+	if now < w.start {
+		return -1
+	}
+	i := int((now - w.start) / w.interval)
+	for len(w.wins) <= i {
+		w.wins = append(w.wins, latWindow{})
+	}
+	return i
+}
+
+// Record adds a successful operation completing at now with the given
+// latency.
+func (w *WindowedLatency) Record(now, latency sim.Time) {
+	i := w.idx(now)
+	if i < 0 {
+		return
+	}
+	if w.wins[i].hist == nil {
+		w.wins[i].hist = NewHistogram()
+	}
+	w.wins[i].hist.Record(latency)
+	w.wins[i].ok++
+}
+
+// RecordFailure adds a failed (errored or timed-out) operation at now.
+func (w *WindowedLatency) RecordFailure(now sim.Time) {
+	i := w.idx(now)
+	if i < 0 {
+		return
+	}
+	w.wins[i].fail++
+}
+
+// Start returns the recorder's origin.
+func (w *WindowedLatency) Start() sim.Time { return w.start }
+
+// Interval returns the window width.
+func (w *WindowedLatency) Interval() sim.Time { return w.interval }
+
+// Windows returns the number of windows touched so far.
+func (w *WindowedLatency) Windows() int { return len(w.wins) }
+
+// WindowStart returns the start time of window i.
+func (w *WindowedLatency) WindowStart(i int) sim.Time {
+	return w.start + sim.Time(i)*w.interval
+}
+
+// Ok returns the successful-operation count in window i.
+func (w *WindowedLatency) Ok(i int) int64 { return w.wins[i].ok }
+
+// Failed returns the failed-operation count in window i.
+func (w *WindowedLatency) Failed(i int) int64 { return w.wins[i].fail }
+
+// Quantile returns the q-quantile of successful-op latency in window i
+// (0 for an empty window).
+func (w *WindowedLatency) Quantile(i int, q float64) sim.Time {
+	if w.wins[i].hist == nil {
+		return 0
+	}
+	return w.wins[i].hist.Quantile(q)
+}
+
+// Availability returns ok/(ok+failed) for window i. A window with no
+// operations at all reports 1: nothing was asked, nothing was refused.
+func (w *WindowedLatency) Availability(i int) float64 {
+	total := w.wins[i].ok + w.wins[i].fail
+	if total == 0 {
+		return 1
+	}
+	return float64(w.wins[i].ok) / float64(total)
+}
+
+// Throughput returns successful ops/sec in window i.
+func (w *WindowedLatency) Throughput(i int) float64 {
+	return float64(w.wins[i].ok) / w.interval.Seconds()
+}
+
+// Merge adds other's windows into w. Both recorders must share the same
+// origin and interval (repetitions of the same cell do).
+func (w *WindowedLatency) Merge(other *WindowedLatency) error {
+	if other.start != w.start || other.interval != w.interval {
+		return fmt.Errorf("stats: merging misaligned windows (start %v/%v, interval %v/%v)",
+			w.start, other.start, w.interval, other.interval)
+	}
+	for len(w.wins) < len(other.wins) {
+		w.wins = append(w.wins, latWindow{})
+	}
+	for i := range other.wins {
+		o := &other.wins[i]
+		w.wins[i].ok += o.ok
+		w.wins[i].fail += o.fail
+		if o.hist != nil {
+			if w.wins[i].hist == nil {
+				w.wins[i].hist = NewHistogram()
+			}
+			w.wins[i].hist.Merge(o.hist)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWindowedExactBoundaries(t *testing.T) {
+	w := NewWindowedLatency(100, 10)
+	// Windows are half-open: [100,110) is window 0, [110,120) window 1.
+	w.Record(100, sim.Millisecond) // first instant of window 0
+	w.Record(109, sim.Millisecond) // last instant of window 0
+	w.Record(110, sim.Millisecond) // first instant of window 1
+	w.Record(119, sim.Millisecond)
+	w.Record(120, sim.Millisecond) // window 2
+	if got := w.Windows(); got != 3 {
+		t.Fatalf("Windows() = %d, want 3", got)
+	}
+	for i, want := range []int64{2, 2, 1} {
+		if got := w.Ok(i); got != want {
+			t.Errorf("Ok(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := w.WindowStart(2); got != 120 {
+		t.Errorf("WindowStart(2) = %d, want 120", got)
+	}
+}
+
+func TestWindowedDropsPreStartObservations(t *testing.T) {
+	w := NewWindowedLatency(100, 10)
+	w.Record(99, sim.Millisecond)
+	w.RecordFailure(50)
+	if got := w.Windows(); got != 0 {
+		t.Fatalf("pre-start observations created %d windows, want 0", got)
+	}
+}
+
+func TestWindowedEmptyWindows(t *testing.T) {
+	w := NewWindowedLatency(0, 10)
+	w.Record(5, 2*sim.Millisecond)
+	w.Record(35, 4*sim.Millisecond) // windows 1 and 2 stay empty
+	if got := w.Windows(); got != 4 {
+		t.Fatalf("Windows() = %d, want 4", got)
+	}
+	for _, i := range []int{1, 2} {
+		if got := w.Ok(i); got != 0 {
+			t.Errorf("Ok(%d) = %d, want 0", i, got)
+		}
+		if got := w.Quantile(i, 0.99); got != 0 {
+			t.Errorf("Quantile(%d) = %v, want 0 for empty window", i, got)
+		}
+		if got := w.Availability(i); got != 1 {
+			t.Errorf("Availability(%d) = %g, want 1 for empty window", i, got)
+		}
+	}
+}
+
+func TestWindowedAvailability(t *testing.T) {
+	w := NewWindowedLatency(0, 10)
+	w.Record(1, sim.Millisecond)
+	w.Record(2, sim.Millisecond)
+	w.Record(3, sim.Millisecond)
+	w.RecordFailure(4)
+	if got, want := w.Availability(0), 0.75; got != want {
+		t.Errorf("Availability = %g, want %g", got, want)
+	}
+	w.RecordFailure(11)
+	if got := w.Availability(1); got != 0 {
+		t.Errorf("all-failed window availability = %g, want 0", got)
+	}
+}
+
+func TestWindowedQuantiles(t *testing.T) {
+	w := NewWindowedLatency(0, 1000)
+	for i := 0; i < 99; i++ {
+		w.Record(sim.Time(i), sim.Millisecond)
+	}
+	w.Record(99, 100*sim.Millisecond)
+	p50 := w.Quantile(0, 0.50)
+	p999 := w.Quantile(0, 0.999)
+	if p50 > 2*sim.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	if p999 < 90*sim.Millisecond {
+		t.Errorf("p999 = %v, want ~100ms (the outlier)", p999)
+	}
+}
+
+func TestWindowedMerge(t *testing.T) {
+	a := NewWindowedLatency(0, 10)
+	b := NewWindowedLatency(0, 10)
+	a.Record(5, sim.Millisecond)
+	a.RecordFailure(15)
+	b.Record(5, 3*sim.Millisecond)
+	b.Record(25, sim.Millisecond) // b has a third window a lacks
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Windows(); got != 3 {
+		t.Fatalf("merged Windows() = %d, want 3", got)
+	}
+	if got := a.Ok(0); got != 2 {
+		t.Errorf("merged Ok(0) = %d, want 2", got)
+	}
+	if got := a.Failed(1); got != 1 {
+		t.Errorf("merged Failed(1) = %d, want 1", got)
+	}
+	if got := a.Ok(2); got != 1 {
+		t.Errorf("merged Ok(2) = %d, want 1", got)
+	}
+	if got := a.Quantile(2, 0.5); got == 0 {
+		t.Error("merged window 2 lost its histogram")
+	}
+}
+
+func TestWindowedMergeMisaligned(t *testing.T) {
+	a := NewWindowedLatency(0, 10)
+	b := NewWindowedLatency(5, 10)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of misaligned windows succeeded, want error")
+	}
+	c := NewWindowedLatency(0, 20)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge of different intervals succeeded, want error")
+	}
+}
+
+func TestCollectorTimeouts(t *testing.T) {
+	c := NewCollector()
+	c.RecordTimeout() // before Begin: dropped
+	c.Begin(0)
+	c.Record(OpRead, sim.Millisecond)
+	c.RecordTimeout()
+	c.RecordTimeout()
+	c.Finish(sim.Second)
+	c.RecordTimeout() // after Finish: dropped
+	if got := c.Timeouts(); got != 2 {
+		t.Fatalf("Timeouts() = %d, want 2", got)
+	}
+	if got := c.Summarize().Timeouts; got != 2 {
+		t.Fatalf("Summary.Timeouts = %d, want 2", got)
+	}
+	if got := c.Ops(); got != 1 {
+		t.Fatalf("Ops() = %d, want 1 (timeouts excluded)", got)
+	}
+}

@@ -155,6 +155,12 @@ var ErrScansUnsupported = errors.New("store: scans not supported")
 // out of memory).
 var ErrOverloaded = errors.New("store: node overloaded")
 
+// ErrUnavailable is returned when the node(s) that must serve an operation
+// are down (fault injection) and no replica can fail over. Clients should
+// back off before retrying: the failure is instant, so a tight retry loop
+// would not advance virtual time.
+var ErrUnavailable = errors.New("store: node unavailable")
+
 // IngestCopier is implemented by stores whose Insert/Update/Load paths
 // copy field bytes before retaining them (the memtable-backed engines:
 // their arena owns the payload). The B-tree models retain the caller's

@@ -131,10 +131,19 @@ type Store struct {
 	clust *cluster.Cluster
 	ring  *hashring.TokenRing
 	nodes []*node
+	// down marks killed nodes (fault injection); downCount caches the
+	// population so healthy-cluster paths take zero extra branches beyond
+	// one counter check.
+	down      []bool
+	downCount int
+	// lag is extra per-node async-replica application delay (replica-lag
+	// fault).
+	lag []sim.Time
 }
 
 // node is one Cassandra process: SEDA stages plus an LSM engine.
 type node struct {
+	id        int
 	machine   *cluster.Node
 	readStage *sim.Resource
 	mutStage  *sim.Resource
@@ -164,6 +173,7 @@ func New(c *cluster.Cluster, opts Options) *Store {
 			cache = m.Spec.RAMBytes / 2
 		}
 		s.nodes = append(s.nodes, &node{
+			id:        i,
 			machine:   m,
 			readStage: sim.NewResource(c.Eng, "cassandra-read-stage", opts.StageThreads),
 			mutStage:  sim.NewResource(c.Eng, "cassandra-mutation-stage", opts.StageThreads),
@@ -178,6 +188,8 @@ func New(c *cluster.Cluster, opts Options) *Store {
 			}),
 		})
 	}
+	s.down = make([]bool, len(c.Nodes))
+	s.lag = make([]sim.Time, len(c.Nodes))
 	return s
 }
 
@@ -192,13 +204,41 @@ func (s *Store) CopiesOnIngest() bool { return true }
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return true }
 
-// coordinator picks the node the client is connected to for this op.
+// coordinator picks the node the client is connected to for this op. With
+// nodes down, the client's connection pool skips them: the single random
+// draw is kept (determinism: the no-fault RNG stream is untouched) and
+// probed forward to the next live node. Nil means the whole cluster is
+// down.
 func (s *Store) coordinator(p *sim.Proc) *node {
-	return s.nodes[p.Rand().Intn(len(s.nodes))]
+	i := p.Rand().Intn(len(s.nodes))
+	if s.downCount == 0 {
+		return s.nodes[i]
+	}
+	for off := 0; off < len(s.nodes); off++ {
+		if n := s.nodes[(i+off)%len(s.nodes)]; !s.down[n.id] {
+			return n
+		}
+	}
+	return nil
 }
 
 func (s *Store) owner(key string) *node {
 	return s.nodes[s.ring.Owner(key)]
+}
+
+// readTarget returns the node that serves a read of key: the token owner,
+// or — when the owner is down — the first live ring replica (read repair
+// semantics at CL.ONE). Nil means no replica of key is alive.
+func (s *Store) readTarget(key string) *node {
+	if s.downCount == 0 {
+		return s.owner(key)
+	}
+	for _, idx := range s.ring.Replicas(key, s.opts.ReplicationFactor) {
+		if !s.down[idx] {
+			return s.nodes[idx]
+		}
+	}
+	return nil
 }
 
 // replicas returns the nodes holding key under SimpleStrategy.
@@ -214,7 +254,10 @@ func (s *Store) replicas(key string) []*node {
 // Read implements store.Store.
 func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 	coord := s.coordinator(p)
-	own := s.owner(key)
+	own := s.readTarget(key)
+	if coord == nil || own == nil {
+		return nil, store.ErrUnavailable
+	}
 	var out store.Fields
 	var ok bool
 	serve := func() {
@@ -258,7 +301,29 @@ func (s *Store) applyMutation(p *sim.Proc, n *node, key string, f store.Fields) 
 
 func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
 	coord := s.coordinator(p)
+	if coord == nil {
+		return store.ErrUnavailable
+	}
 	reps := s.replicas(key)
+	if s.downCount > 0 {
+		// Down replicas take no writes (hinted handoff is not modeled:
+		// the mutation is simply lost on them, as the paper's unreplicated
+		// setups would lose it). Consistency degrades to the live count.
+		live := reps[:0]
+		for _, rep := range reps {
+			if !s.down[rep.id] {
+				live = append(live, rep)
+			}
+		}
+		reps = live
+		if len(reps) == 0 {
+			return store.ErrUnavailable
+		}
+	}
+	sync := s.opts.WriteConsistency
+	if sync > len(reps) {
+		sync = len(reps)
+	}
 	base.Roundtrip(p, coord.machine, base.ReqHeader+base.RecordWire, base.AckWire, func() {
 		coord.machine.Compute(p, s.opts.CoordCPU)
 		// Async replicas apply the mutation after the client is
@@ -267,11 +332,11 @@ func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
 		// applyMutation never mutates it and the memtable copies on ingest.
 		var async store.Fields
 		cloned := false
-		// The coordinator waits for WriteConsistency acknowledgements; the
-		// remaining replicas apply the mutation in the background.
+		// The coordinator waits for sync acknowledgements; the remaining
+		// replicas apply the mutation in the background.
 		for i, rep := range reps {
 			rep := rep
-			if i < s.opts.WriteConsistency {
+			if i < sync {
 				if rep == coord {
 					s.applyMutation(p, rep, key, f)
 					continue
@@ -288,7 +353,10 @@ func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
 			}
 			fc := async
 			p.Engine().Go("cassandra-async-replica", func(bp *sim.Proc) {
-				bp.Sleep(coord.machine.NetDelay(base.ReqHeader + base.RecordWire))
+				bp.Sleep(coord.machine.NetDelay(base.ReqHeader+base.RecordWire) + s.lag[rep.id])
+				if s.down[rep.id] {
+					return // replica died before the mutation arrived
+				}
 				s.applyMutation(bp, rep, key, fc)
 			})
 		}
@@ -316,12 +384,18 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 // (Figs 12/13).
 func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
 	coord := s.coordinator(p)
+	if coord == nil {
+		return nil, store.ErrUnavailable
+	}
 	var all []store.Record
 	base.Roundtrip(p, coord.machine, base.ReqHeader, int64(count)*base.RecordWire, func() {
 		coord.machine.Compute(p, s.opts.CoordCPU)
 		first := s.ring.Owner(start)
 		for i := 0; i < len(s.nodes) && len(all) < count; i++ {
 			n := s.nodes[(first+i)%len(s.nodes)]
+			if s.down[n.id] {
+				continue // dead ring member: the range slice skips it
+			}
 			want := count - len(all)
 			serve := func() {
 				n.readStage.Acquire(p)
@@ -370,5 +444,45 @@ func (s *Store) DiskUsage() int64 {
 
 // Tree exposes a node's LSM engine for tests and diagnostics.
 func (s *Store) Tree(i int) *lsm.Tree { return s.nodes[i].tree }
+
+// replayCPUPerByte is the CPU cost of reapplying one commitlog byte on
+// restart (~100 MB/s of single-threaded mutation replay).
+const replayCPUPerByte = 10 * sim.Nanosecond
+
+// KillNode implements fault.Target: the node stops serving, its commit log
+// is torn down (the buffered tail is lost, parked group-commit waiters are
+// released) and later writes skip it. In-flight operations complete.
+func (s *Store) KillNode(i int) {
+	if s.down[i] {
+		return
+	}
+	s.down[i] = true
+	s.downCount++
+	s.nodes[i].tree.Log().Close()
+}
+
+// RestartNode implements fault.Target: commitlog replay — re-read the
+// un-flushed tail from disk and reapply it through the mutation path —
+// is paid in virtual time before the node is marked up.
+func (s *Store) RestartNode(p *sim.Proc, i int) {
+	if !s.down[i] {
+		return
+	}
+	n := s.nodes[i]
+	if replay := n.tree.MemBytes(); replay > 0 {
+		n.machine.DiskRead(p, replay, false)
+		n.machine.Compute(p, sim.Time(replay)*replayCPUPerByte)
+	}
+	n.tree.Log().Reopen()
+	s.down[i] = false
+	s.downCount--
+}
+
+// SetReplicaLag implements fault.ReplicaLagger: extra delay before async
+// replica application lands on node i.
+func (s *Store) SetReplicaLag(i int, extra sim.Time) { s.lag[i] = extra }
+
+// NodeDown reports whether node i is currently down (diagnostics/tests).
+func (s *Store) NodeDown(i int) bool { return s.down[i] }
 
 var _ store.Store = (*Store)(nil)

@@ -99,6 +99,11 @@ type Store struct {
 	fs      *dfs.FS
 	regions []*region
 	splits  []string // region split keys: region i holds keys < splits[i]
+	// down marks killed region servers (fault injection). HBase 0.90 has
+	// no read replicas: a dead region server means its key range is simply
+	// unavailable until restart + HLog replay.
+	down      []bool
+	downCount int
 }
 
 // region is one region hosted by the server on the same-index node.
@@ -169,6 +174,7 @@ func New(c *cluster.Cluster, opts Options) *Store {
 			}),
 		})
 	}
+	s.down = make([]bool, n)
 	return s
 }
 
@@ -194,7 +200,11 @@ func (s *Store) regionFor(key string) *region {
 
 // Read implements store.Store.
 func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
-	r := s.regionFor(key)
+	ri := s.regionIndex(key)
+	if s.down[ri] {
+		return nil, store.ErrUnavailable
+	}
+	r := s.regions[ri]
 	var out store.Fields
 	var ok bool
 	base.Roundtrip(p, r.machine, base.ReqHeader, base.RecordWire, func() {
@@ -210,7 +220,11 @@ func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 }
 
 func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
-	r := s.regionFor(key)
+	ri := s.regionIndex(key)
+	if s.down[ri] {
+		return store.ErrUnavailable
+	}
+	r := s.regions[ri]
 	if s.opts.AutoFlush {
 		base.Roundtrip(p, r.machine, base.ReqHeader+base.RecordWire, base.AckWire, func() {
 			r.handlers.Acquire(p)
@@ -257,6 +271,11 @@ func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, erro
 	var out []store.Record
 	next := start
 	for ri := s.regionIndex(start); ri < len(s.regions) && len(out) < count; ri++ {
+		if s.down[ri] {
+			// The scanner hits an unavailable region mid-range; without
+			// region reassignment the scan cannot proceed.
+			return nil, store.ErrUnavailable
+		}
 		r := s.regions[ri]
 		want := count - len(out)
 		base.Roundtrip(p, r.machine, base.ReqHeader, int64(want)*base.RecordWire, func() {
@@ -293,5 +312,42 @@ func (s *Store) DiskUsage() int64 {
 
 // Tree exposes a region's LSM engine for tests.
 func (s *Store) Tree(i int) *lsm.Tree { return s.regions[i].tree }
+
+// replayCPUPerByte is the CPU cost of reapplying one HLog byte on restart.
+const replayCPUPerByte = 10 * sim.Nanosecond
+
+// KillNode implements fault.Target: the region server dies; its HLog tail
+// is dropped and its client write buffer is lost. The key range it serves
+// errors until restart.
+func (s *Store) KillNode(i int) {
+	if s.down[i] {
+		return
+	}
+	s.down[i] = true
+	s.downCount++
+	r := s.regions[i]
+	r.buffered = 0 // the client-side buffer for a dead region is discarded
+	r.tree.Log().Close()
+}
+
+// RestartNode implements fault.Target: HLog replay — re-read the un-flushed
+// MemStore tail through the colocated DataNode and reapply it — before the
+// region serves again.
+func (s *Store) RestartNode(p *sim.Proc, i int) {
+	if !s.down[i] {
+		return
+	}
+	r := s.regions[i]
+	if replay := r.tree.MemBytes(); replay > 0 {
+		r.machine.DiskRead(p, replay, false)
+		r.machine.Compute(p, sim.Time(replay)*replayCPUPerByte)
+	}
+	r.tree.Log().Reopen()
+	s.down[i] = false
+	s.downCount--
+}
+
+// NodeDown reports whether region server i is down (diagnostics/tests).
+func (s *Store) NodeDown(i int) bool { return s.down[i] }
 
 var _ store.Store = (*Store)(nil)

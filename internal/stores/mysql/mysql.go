@@ -131,6 +131,10 @@ type Store struct {
 	clust  *cluster.Cluster
 	ring   *hashring.Mod
 	shards []*shard
+	// down marks killed servers (fault injection). Client-side sharding
+	// has no failover: a dead shard's keys are unavailable until restart.
+	down      []bool
+	downCount int
 }
 
 type shard struct {
@@ -142,6 +146,9 @@ type shard struct {
 	// unpurged counts row versions created since the last purge pass.
 	unpurged int64
 	purgerUp bool
+	// replayMark is the redo-log watermark of the last checkpoint
+	// (restart); crash recovery replays the bytes appended since.
+	replayMark int64
 }
 
 // binlogBytesPerRecord is the statement-based binary log cost of one
@@ -168,6 +175,7 @@ func New(c *cluster.Cluster, opts Options) *Store {
 			binlog: wal.New(n, 5*sim.Millisecond),
 		})
 	}
+	s.down = make([]bool, len(c.Nodes))
 	return s
 }
 
@@ -184,6 +192,8 @@ func (s *Store) SupportsScan() bool { return true }
 
 func (s *Store) shard(key string) *shard { return s.shards[s.ring.Owner(key)] }
 
+func (s *Store) shardIndex(key string) int { return s.ring.Owner(key) }
+
 func chargeIO(p *sim.Proc, n *cluster.Node, io btree.IOStats, pageSize int64) {
 	for i := 0; i < io.Misses; i++ {
 		n.DiskRead(p, pageSize, true)
@@ -195,7 +205,11 @@ func chargeIO(p *sim.Proc, n *cluster.Node, io btree.IOStats, pageSize int64) {
 
 // Read implements store.Store.
 func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
-	sh := s.shard(key)
+	si := s.shardIndex(key)
+	if s.down[si] {
+		return nil, store.ErrUnavailable
+	}
+	sh := s.shards[si]
 	var out store.Fields
 	var ok bool
 	base.Roundtrip(p, sh.node, base.ReqHeader, base.RecordWire, func() {
@@ -233,7 +247,11 @@ func (s *Store) ensurePurger(e *sim.Engine, sh *shard) {
 }
 
 func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
-	sh := s.shard(key)
+	si := s.shardIndex(key)
+	if s.down[si] {
+		return store.ErrUnavailable
+	}
+	sh := s.shards[si]
 	base.Roundtrip(p, sh.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
 		sh.node.Compute(p, s.opts.WriteCPU+s.opts.connOverhead())
 		sh.redo.Append(p, int64(store.RawRecordBytes), false)
@@ -262,7 +280,11 @@ func (s *Store) Insert(p *sim.Proc, key string, f store.Fields) error {
 // undo record. Updating an absent key pays the full descent and returns
 // store.ErrNotFound.
 func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
-	sh := s.shard(key)
+	si := s.shardIndex(key)
+	if s.down[si] {
+		return store.ErrUnavailable
+	}
+	sh := s.shards[si]
 	var found bool
 	base.Roundtrip(p, sh.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
 		sh.node.Compute(p, s.opts.UpdateCPU+s.opts.connOverhead())
@@ -298,6 +320,11 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 // abandons the cursor, which is why scan throughput collapses for two or
 // more nodes (Figs 12-14).
 func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+	// The client-side merge needs every shard's answer; any dead shard
+	// fails the whole scan.
+	if s.downCount > 0 {
+		return nil, store.ErrUnavailable
+	}
 	if len(s.shards) == 1 {
 		sh := s.shards[0]
 		var rows []btree.Entry
@@ -389,5 +416,49 @@ func (s *Store) DiskUsage() int64 {
 	}
 	return total
 }
+
+// InnoDB crash-recovery cost model: redo replay since the last checkpoint,
+// bounded by the log file size, at ~100 MB/s of CPU.
+const (
+	replayCPUPerByte     = 10 * sim.Nanosecond
+	recoverySegmentBytes = 64 << 20
+)
+
+// KillNode implements fault.Target: mysqld dies; the buffered redo/binlog
+// tails are lost and the shard's keys error until restart.
+func (s *Store) KillNode(i int) {
+	if s.down[i] {
+		return
+	}
+	s.down[i] = true
+	s.downCount++
+	s.shards[i].redo.Close()
+	s.shards[i].binlog.Close()
+}
+
+// RestartNode implements fault.Target: InnoDB replays the redo log written
+// since the last checkpoint before the server accepts connections.
+func (s *Store) RestartNode(p *sim.Proc, i int) {
+	if !s.down[i] {
+		return
+	}
+	sh := s.shards[i]
+	replay := sh.redo.DurableBytes() - sh.replayMark
+	if replay > recoverySegmentBytes {
+		replay = recoverySegmentBytes
+	}
+	if replay > 0 {
+		sh.node.DiskRead(p, replay, false)
+		sh.node.Compute(p, sim.Time(replay)*replayCPUPerByte)
+	}
+	sh.replayMark = sh.redo.DurableBytes()
+	sh.redo.Reopen()
+	sh.binlog.Reopen()
+	s.down[i] = false
+	s.downCount--
+}
+
+// NodeDown reports whether shard i is down (diagnostics/tests).
+func (s *Store) NodeDown(i int) bool { return s.down[i] }
 
 var _ store.Store = (*Store)(nil)

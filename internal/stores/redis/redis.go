@@ -74,6 +74,10 @@ type Store struct {
 	clust *cluster.Cluster
 	ring  sharder
 	insts []*instance
+	// down marks killed instances (fault injection). Client-side sharding
+	// has no failover: a dead shard's keys are unavailable until restart.
+	down      []bool
+	downCount int
 }
 
 // instance is one single-threaded Redis process.
@@ -103,6 +107,7 @@ func New(c *cluster.Cluster, opts Options) *Store {
 			data: memtable.New(int64(i) + 7),
 		})
 	}
+	s.down = make([]bool, len(c.Nodes))
 	return s
 }
 
@@ -118,6 +123,8 @@ func (s *Store) CopiesOnIngest() bool { return true }
 func (s *Store) SupportsScan() bool { return true }
 
 func (s *Store) inst(key string) *instance { return s.insts[s.ring.Owner(key)] }
+
+func (s *Store) instIndex(key string) int { return s.ring.Owner(key) }
 
 func recordBytes(key string, f store.Fields) int64 {
 	b := int64(len(key))
@@ -156,7 +163,11 @@ func (in *instance) reserve(key string, f store.Fields, overhead int64, memScale
 
 // Insert implements store.Store.
 func (s *Store) Insert(p *sim.Proc, key string, f store.Fields) error {
-	in := s.inst(key)
+	si := s.instIndex(key)
+	if s.down[si] {
+		return store.ErrUnavailable
+	}
+	in := s.insts[si]
 	base.Roundtrip(p, in.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
 		in.loop.Acquire(p)
 		in.swapPenalty(p)
@@ -171,7 +182,11 @@ func (s *Store) Insert(p *sim.Proc, key string, f store.Fields) error {
 // Update implements store.Store. Redis HSET of an existing key costs the
 // same as an insert without new memory.
 func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
-	in := s.inst(key)
+	si := s.instIndex(key)
+	if s.down[si] {
+		return store.ErrUnavailable
+	}
+	in := s.insts[si]
 	base.Roundtrip(p, in.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
 		in.loop.Acquire(p)
 		in.swapPenalty(p)
@@ -184,7 +199,11 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 
 // Read implements store.Store.
 func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
-	in := s.inst(key)
+	si := s.instIndex(key)
+	if s.down[si] {
+		return nil, store.ErrUnavailable
+	}
+	in := s.insts[si]
 	var out store.Fields
 	var ok bool
 	base.Roundtrip(p, in.node, base.ReqHeader, base.RecordWire, func() {
@@ -203,6 +222,11 @@ func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 // Scan implements store.Store. The sharded client must consult every
 // instance (hash sharding destroys key order) and merge.
 func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+	// The merge needs an answer from every shard; any dead shard fails
+	// the whole scan.
+	if s.downCount > 0 {
+		return nil, store.ErrUnavailable
+	}
 	var all []memtable.Entry
 	for _, in := range s.insts {
 		in := in
@@ -269,6 +293,39 @@ func (s *Store) HottestLoadFactor() float64 {
 	}
 	return float64(maxN) / (float64(total) / float64(len(s.insts)))
 }
+
+// replayCPUPerByte is the CPU cost of rebuilding in-memory structures from
+// an RDB/AOF image on restart (~100 MB/s).
+const replayCPUPerByte = 10 * sim.Nanosecond
+
+// KillNode implements fault.Target: the instance process dies. Data is not
+// lost to the model (the paper ran with persistence configured), but clients
+// of that shard fail until restart.
+func (s *Store) KillNode(i int) {
+	if s.down[i] {
+		return
+	}
+	s.down[i] = true
+	s.downCount++
+}
+
+// RestartNode implements fault.Target: the instance reloads its dataset
+// from the persistence image before serving again.
+func (s *Store) RestartNode(p *sim.Proc, i int) {
+	if !s.down[i] {
+		return
+	}
+	in := s.insts[i]
+	if in.resident > 0 {
+		in.node.DiskRead(p, in.resident, false)
+		in.node.Compute(p, sim.Time(in.resident)*replayCPUPerByte)
+	}
+	s.down[i] = false
+	s.downCount--
+}
+
+// NodeDown reports whether instance i is down (diagnostics/tests).
+func (s *Store) NodeDown(i int) bool { return s.down[i] }
 
 // SwappingNodes reports how many instances have exceeded physical RAM.
 func (s *Store) SwappingNodes() int {

@@ -88,6 +88,11 @@ type Store struct {
 	clust *cluster.Cluster
 	ring  *hashring.TokenRing
 	nodes []*server
+	// down marks killed servers (fault injection). The paper ran
+	// unreplicated (required-reads = required-writes = 1), so a dead
+	// node's partitions are unavailable until restart.
+	down      []bool
+	downCount int
 }
 
 type server struct {
@@ -95,6 +100,9 @@ type server struct {
 	pool *sim.Resource // client-side per-node in-flight limit
 	db   *btree.Tree
 	log  *wal.Log
+	// replayMark is the durable-log watermark of the last checkpoint
+	// (restart); recovery replays the bytes appended since.
+	replayMark int64
 }
 
 // New deploys Voldemort across the cluster.
@@ -119,6 +127,7 @@ func New(c *cluster.Cluster, opts Options) *Store {
 			log: wal.New(n, 15*sim.Millisecond),
 		})
 	}
+	s.down = make([]bool, len(c.Nodes))
 	return s
 }
 
@@ -128,9 +137,12 @@ func (s *Store) Name() string { return "voldemort" }
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return false }
 
+func (s *Store) serverIndex(key string) int {
+	return s.ring.Owner(key) % len(s.nodes)
+}
+
 func (s *Store) server(key string) *server {
-	part := s.ring.Owner(key)
-	return s.nodes[part%len(s.nodes)]
+	return s.nodes[s.serverIndex(key)]
 }
 
 // chargeIO converts B-tree page statistics into disk time on the server.
@@ -145,7 +157,11 @@ func chargeIO(p *sim.Proc, n *cluster.Node, io btree.IOStats) {
 
 // Read implements store.Store.
 func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
-	sv := s.server(key)
+	si := s.serverIndex(key)
+	if s.down[si] {
+		return nil, store.ErrUnavailable
+	}
+	sv := s.nodes[si]
 	sv.pool.Acquire(p)
 	var out store.Fields
 	var ok bool
@@ -163,7 +179,11 @@ func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 }
 
 func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
-	sv := s.server(key)
+	si := s.serverIndex(key)
+	if s.down[si] {
+		return store.ErrUnavailable
+	}
+	sv := s.nodes[si]
 	sv.pool.Acquire(p)
 	base.Roundtrip(p, sv.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
 		sv.node.Compute(p, s.opts.WriteCPU)
@@ -186,7 +206,11 @@ func (s *Store) Insert(p *sim.Proc, key string, f store.Fields) error {
 // the replacing record. Updating an absent key pays the full descent and
 // returns store.ErrNotFound.
 func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
-	sv := s.server(key)
+	si := s.serverIndex(key)
+	if s.down[si] {
+		return store.ErrUnavailable
+	}
+	sv := s.nodes[si]
 	sv.pool.Acquire(p)
 	var found bool
 	base.Roundtrip(p, sv.node, base.ReqHeader+base.RecordWire, base.AckWire, func() {
@@ -230,5 +254,47 @@ func (s *Store) DiskUsage() int64 {
 	}
 	return total
 }
+
+// Recovery replay cost model: BDB replays the log tail written since the
+// last checkpoint, bounded by the segment size, at ~100 MB/s of CPU.
+const (
+	replayCPUPerByte     = 10 * sim.Nanosecond
+	recoverySegmentBytes = 64 << 20
+)
+
+// KillNode implements fault.Target: the server process dies; the buffered
+// log tail is lost and its partitions error until restart.
+func (s *Store) KillNode(i int) {
+	if s.down[i] {
+		return
+	}
+	s.down[i] = true
+	s.downCount++
+	s.nodes[i].log.Close()
+}
+
+// RestartNode implements fault.Target: BDB log replay since the last
+// checkpoint is paid in virtual time before the node serves again.
+func (s *Store) RestartNode(p *sim.Proc, i int) {
+	if !s.down[i] {
+		return
+	}
+	sv := s.nodes[i]
+	replay := sv.log.DurableBytes() - sv.replayMark
+	if replay > recoverySegmentBytes {
+		replay = recoverySegmentBytes
+	}
+	if replay > 0 {
+		sv.node.DiskRead(p, replay, false)
+		sv.node.Compute(p, sim.Time(replay)*replayCPUPerByte)
+	}
+	sv.replayMark = sv.log.DurableBytes()
+	sv.log.Reopen()
+	s.down[i] = false
+	s.downCount--
+}
+
+// NodeDown reports whether server i is down (diagnostics/tests).
+func (s *Store) NodeDown(i int) bool { return s.down[i] }
 
 var _ store.Store = (*Store)(nil)

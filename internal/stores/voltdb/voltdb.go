@@ -68,6 +68,10 @@ type Store struct {
 	hosts []*host
 	// sequencer is the cluster-wide transaction initiation/ordering path.
 	sequencer *sim.Resource
+	// down marks killed hosts (fault injection). The paper ran without
+	// k-safety, so a dead host's partitions are unavailable until restart.
+	down      []bool
+	downCount int
 }
 
 // host is one VoltDB server process.
@@ -98,6 +102,7 @@ func New(c *cluster.Cluster, opts Options) *Store {
 		}
 		s.hosts = append(s.hosts, h)
 	}
+	s.down = make([]bool, len(c.Nodes))
 	return s
 }
 
@@ -141,11 +146,21 @@ func (s *Store) order(p *sim.Proc, multiPartition bool) {
 }
 
 // singlePartition runs fn on the owning site as a single-partition txn.
-func (s *Store) singlePartition(p *sim.Proc, key string, reqBytes, respBytes int64, fn func(*host, *site)) {
-	h, st := s.route(key)
+// With a host down the transaction fails if either the owner or the
+// arrival host is dead: no k-safety means the partition has no replica,
+// and a dead arrival host drops the client's connection.
+func (s *Store) singlePartition(p *sim.Proc, key string, reqBytes, respBytes int64, fn func(*host, *site)) error {
+	part := s.ring.Owner(key)
+	hi := part / s.opts.SitesPerHost
+	h := s.hosts[hi]
+	st := h.sites[part%s.opts.SitesPerHost]
 	// The synchronous client connects to all hosts; the arrival host
 	// forwards to the owner when necessary (round-trip within the cluster).
-	arrival := s.hosts[p.Rand().Intn(len(s.hosts))]
+	ai := p.Rand().Intn(len(s.hosts))
+	if s.downCount > 0 && (s.down[hi] || s.down[ai]) {
+		return store.ErrUnavailable
+	}
+	arrival := s.hosts[ai]
 	serve := func() {
 		s.order(p, false)
 		st.exec.Acquire(p)
@@ -160,15 +175,19 @@ func (s *Store) singlePartition(p *sim.Proc, key string, reqBytes, respBytes int
 		}
 		base.Forward(p, arrival.machine, h.machine, reqBytes, respBytes, serve)
 	})
+	return nil
 }
 
 // Read implements store.Store.
 func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 	var out store.Fields
 	var ok bool
-	s.singlePartition(p, key, base.ReqHeader, base.RecordWire, func(h *host, st *site) {
+	err := s.singlePartition(p, key, base.ReqHeader, base.RecordWire, func(h *host, st *site) {
 		out, ok = st.data.Get(key)
 	})
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, store.ErrNotFound
 	}
@@ -176,10 +195,9 @@ func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 }
 
 func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
-	s.singlePartition(p, key, base.ReqHeader+base.RecordWire, base.AckWire, func(h *host, st *site) {
+	return s.singlePartition(p, key, base.ReqHeader+base.RecordWire, base.AckWire, func(h *host, st *site) {
 		st.data.Put(key, f)
 	})
-	return nil
 }
 
 // Insert implements store.Store.
@@ -195,7 +213,12 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 // Scan implements store.Store: a multi-partition transaction that blocks
 // one site on every host while the fragment runs.
 func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
-	arrival := s.hosts[p.Rand().Intn(len(s.hosts))]
+	ai := p.Rand().Intn(len(s.hosts))
+	// A multi-partition transaction needs a fragment from every host.
+	if s.downCount > 0 {
+		return nil, store.ErrUnavailable
+	}
+	arrival := s.hosts[ai]
 	var all []store.Record
 	base.Roundtrip(p, arrival.machine, base.ReqHeader, int64(count)*base.RecordWire, func() {
 		s.order(p, true)
@@ -237,5 +260,41 @@ func (s *Store) Load(key string, f store.Fields) error {
 // DiskUsage implements store.Store: VoltDB keeps data in memory (excluded
 // from the paper's disk experiment).
 func (s *Store) DiskUsage() int64 { return 0 }
+
+// snapshotCPUPerByte is the CPU cost of rebuilding partition tables from a
+// command-log/snapshot image on rejoin (~100 MB/s).
+const snapshotCPUPerByte = 10 * sim.Nanosecond
+
+// KillNode implements fault.Target: the host process dies; without
+// k-safety its partitions are gone until restart.
+func (s *Store) KillNode(i int) {
+	if s.down[i] {
+		return
+	}
+	s.down[i] = true
+	s.downCount++
+}
+
+// RestartNode implements fault.Target: the rejoining host reloads its
+// partitions from the snapshot before serving again.
+func (s *Store) RestartNode(p *sim.Proc, i int) {
+	if !s.down[i] {
+		return
+	}
+	h := s.hosts[i]
+	var bytes int64
+	for _, st := range h.sites {
+		bytes += st.data.Bytes()
+	}
+	if bytes > 0 {
+		h.machine.DiskRead(p, bytes, false)
+		h.machine.Compute(p, sim.Time(bytes)*snapshotCPUPerByte)
+	}
+	s.down[i] = false
+	s.downCount--
+}
+
+// NodeDown reports whether host i is down (diagnostics/tests).
+func (s *Store) NodeDown(i int) bool { return s.down[i] }
 
 var _ store.Store = (*Store)(nil)

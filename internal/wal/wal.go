@@ -31,6 +31,10 @@ type Log struct {
 	// per log that ever flushed, held until the engine is dropped.
 	flusher     *sim.Proc
 	flusherBusy bool
+	// closed marks the log torn down by a node kill: appends no longer
+	// start the flusher and the buffered tail has been dropped (crash
+	// semantics). Reopen clears it on restart.
+	closed bool
 
 	totalBytes int64 // durable bytes ever written (disk usage accounting)
 	flushes    int64
@@ -59,11 +63,11 @@ func (l *Log) Append(p *sim.Proc, n int64, sync bool) {
 
 // kickFlusher wakes (or first starts) the background group-commit process.
 func (l *Log) kickFlusher(e *sim.Engine) {
-	if l.flusherBusy {
+	if l.closed || l.flusherBusy {
 		return
 	}
 	l.flusherBusy = true
-	if l.flusher == nil {
+	if l.flusher == nil || l.flusher.Done() {
 		l.flusher = e.Go("wal-flusher", l.flushLoop)
 		return
 	}
@@ -95,6 +99,13 @@ func (l *Log) flushLoop(p *sim.Proc) {
 			l.spare = waiters[:0]
 		}
 		l.flusherBusy = false
+		if l.closed {
+			// The log was torn down while a flush was in flight; the batch
+			// above completed (in-flight I/O finishes) but the process must
+			// not park as the log's flusher — a restarted log spawns a
+			// fresh one.
+			return
+		}
 		p.Park()
 	}
 }
@@ -118,3 +129,32 @@ func (l *Log) Flushes() int64 { return l.flushes }
 func (l *Log) Truncate(bytes int64) {
 	l.node.AddDiskUsage(-bytes)
 }
+
+// Close tears the log down on a node kill: the buffered (not yet flushed)
+// tail is lost, sync appenders parked for the next group commit are
+// released (their process sees the op complete; durability was lost, which
+// is exactly a crash's semantics), and the idle flusher process is killed.
+// A flusher mid-flush finishes its in-flight batch and then exits on its
+// own. Close is idempotent.
+func (l *Log) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.pendingBytes = 0
+	for _, w := range l.waiters {
+		w.Wake()
+	}
+	l.waiters = l.waiters[:0]
+	if l.flusher != nil && !l.flusherBusy {
+		l.flusher.Kill()
+		l.flusher = nil
+	}
+}
+
+// Reopen restores a closed log on node restart; the next append spawns a
+// fresh flusher.
+func (l *Log) Reopen() { l.closed = false }
+
+// Closed reports whether the log is torn down.
+func (l *Log) Closed() bool { return l.closed }

@@ -1,6 +1,7 @@
 package ycsb
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sim"
@@ -27,7 +28,26 @@ type RunConfig struct {
 	// TrackThroughput records a throughput-over-time series for the
 	// measurement window (steady-state diagnostics).
 	TrackThroughput bool
+	// OpTimeout classifies operations slower than this as timed out: they
+	// count as failures (and windowed failures), not latency samples. Zero
+	// disables the classification.
+	OpTimeout sim.Time
+	// UnavailableBackoff is how long a client sleeps after an
+	// ErrUnavailable response before retrying. Instant failures do not
+	// advance virtual time, so without a backoff a closed-loop client
+	// would spin forever at one instant against a fully-down store.
+	// Zero means the 1ms default.
+	UnavailableBackoff sim.Time
+	// TrackWindows records per-window latency quantiles and availability
+	// over the measurement window (fault-injection diagnostics).
+	TrackWindows bool
+	// WindowInterval is the window width for TrackWindows (default
+	// Measure/20).
+	WindowInterval sim.Time
 }
+
+// defaultUnavailableBackoff paces closed-loop retries against a down node.
+const defaultUnavailableBackoff = sim.Millisecond
 
 // Result carries the collector plus run metadata.
 type Result struct {
@@ -36,6 +56,9 @@ type Result struct {
 	// Series is the throughput-over-time curve (nil unless
 	// Config.TrackThroughput was set).
 	Series *stats.ThroughputSeries
+	// Windows holds per-window quantiles and availability (nil unless
+	// Config.TrackWindows was set).
+	Windows *stats.WindowedLatency
 }
 
 // Load populates the store with n records (record numbers 0..n-1) without
@@ -78,6 +101,18 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 	var series *stats.ThroughputSeries
 	if cfg.TrackThroughput {
 		series = stats.NewThroughputSeries(e.Now()+cfg.Warmup, cfg.Measure/20)
+	}
+	var windows *stats.WindowedLatency
+	if cfg.TrackWindows {
+		wi := cfg.WindowInterval
+		if wi <= 0 {
+			wi = cfg.Measure / 20
+		}
+		windows = stats.NewWindowedLatency(e.Now()+cfg.Warmup, wi)
+	}
+	backoff := cfg.UnavailableBackoff
+	if backoff <= 0 {
+		backoff = defaultUnavailableBackoff
 	}
 	stopAt := e.Now() + cfg.Warmup + cfg.Measure
 	inserted := cfg.InitialRecords
@@ -133,12 +168,31 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 					id := chooser.Choose(inserted, rng.Float64(), rng.Float64())
 					err = cfg.Store.Update(p, store.Key(id), makeFields(id))
 				}
-				if err != nil {
+				switch lat := p.Now() - opStart; {
+				case err != nil:
 					col.RecordError()
-				} else {
-					col.Record(kind, p.Now()-opStart)
-					if series != nil && col.Active() {
-						series.Record(p.Now())
+					if windows != nil && col.Active() {
+						windows.RecordFailure(p.Now())
+					}
+					if errors.Is(err, store.ErrUnavailable) {
+						// Pace retries: the failure was instant in
+						// virtual time.
+						p.Sleep(backoff)
+					}
+				case cfg.OpTimeout > 0 && lat > cfg.OpTimeout:
+					col.RecordTimeout()
+					if windows != nil && col.Active() {
+						windows.RecordFailure(p.Now())
+					}
+				default:
+					col.Record(kind, lat)
+					if col.Active() {
+						if series != nil {
+							series.Record(p.Now())
+						}
+						if windows != nil {
+							windows.Record(p.Now(), lat)
+						}
 					}
 				}
 				if interval > 0 {
@@ -154,5 +208,5 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 	if col.Window() == 0 {
 		col.Finish(e.Now())
 	}
-	return &Result{Collector: col, Config: cfg, Series: series}, nil
+	return &Result{Collector: col, Config: cfg, Series: series, Windows: windows}, nil
 }
