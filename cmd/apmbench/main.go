@@ -60,6 +60,7 @@ func main() {
 		scenario   = flag.String("scenario", "", "run a scenario grid from a JSON file (see examples/scenarios/)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
+		memstats   = flag.Bool("memstats", false, "report retained host memory (heap in use + store slab bytes) to stderr after each cell's load phase")
 	)
 	flag.Parse()
 
@@ -124,6 +125,13 @@ func main() {
 	r.Workers = *parallel
 	if !*quiet {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	if *memstats {
+		// Diagnostics only: heap numbers vary with GC timing and
+		// -parallel width, so they go to stderr and the determinism
+		// gate runs without the flag. Figure output on stdout is
+		// unaffected.
+		r.MemStats = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 
 	if *list {

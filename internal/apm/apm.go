@@ -82,28 +82,30 @@ func (m Measurement) Fields() store.Fields {
 	}
 }
 
-// Decode reconstructs a measurement from its key and fields.
-func Decode(key string, f store.Fields) (Measurement, error) {
+// Decode reconstructs a measurement from its key and a view of its fields
+// (a record read or scanned back from a store; use store.ViewFields to
+// decode a hand-built field set).
+func Decode(key string, f store.FieldsView) (Measurement, error) {
 	sep := strings.LastIndexByte(key, '|')
-	if sep < 0 || len(f) < 5 {
-		return Measurement{}, fmt.Errorf("apm: malformed record %q (%d fields)", key, len(f))
+	if sep < 0 || f.Len() < 5 {
+		return Measurement{}, fmt.Errorf("apm: malformed record %q (%d fields)", key, f.Len())
 	}
 	var m Measurement
 	m.Metric = key[:sep]
 	var err error
-	if m.Value, err = strconv.ParseFloat(string(f[0]), 64); err != nil {
+	if m.Value, err = strconv.ParseFloat(string(f.Field(0)), 64); err != nil {
 		return Measurement{}, fmt.Errorf("apm: bad value in %q: %w", key, err)
 	}
-	if m.Min, err = strconv.ParseFloat(string(f[1]), 64); err != nil {
+	if m.Min, err = strconv.ParseFloat(string(f.Field(1)), 64); err != nil {
 		return Measurement{}, fmt.Errorf("apm: bad min in %q: %w", key, err)
 	}
-	if m.Max, err = strconv.ParseFloat(string(f[2]), 64); err != nil {
+	if m.Max, err = strconv.ParseFloat(string(f.Field(2)), 64); err != nil {
 		return Measurement{}, fmt.Errorf("apm: bad max in %q: %w", key, err)
 	}
-	if m.Timestamp, err = strconv.ParseInt(string(f[3]), 10, 64); err != nil {
+	if m.Timestamp, err = strconv.ParseInt(string(f.Field(3)), 10, 64); err != nil {
 		return Measurement{}, fmt.Errorf("apm: bad timestamp in %q: %w", key, err)
 	}
-	if m.Duration, err = strconv.ParseInt(string(f[4]), 10, 64); err != nil {
+	if m.Duration, err = strconv.ParseInt(string(f.Field(4)), 10, 64); err != nil {
 		return Measurement{}, fmt.Errorf("apm: bad duration in %q: %w", key, err)
 	}
 	return m, nil
@@ -186,7 +188,7 @@ func Window(p *sim.Proc, s store.Store, metric string, from, to int64) (WindowSt
 		}
 		done := false
 		for _, r := range recs {
-			m, err := Decode(r.Key, store.Fields(r.Fields))
+			m, err := Decode(r.Key, r.Fields)
 			if err != nil || m.Metric != metric || m.Timestamp > to {
 				done = true
 				break

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/apm"
+	"repro/internal/store"
 )
 
 // An APM measurement as in the paper's Figure 2, encoded to a storage
@@ -18,7 +19,7 @@ func ExampleMeasurement() {
 		Duration:  15,
 	}
 	fmt.Println(m.Key())
-	back, _ := apm.Decode(m.Key(), m.Fields())
+	back, _ := apm.Decode(m.Key(), store.ViewFields(m.Fields()))
 	fmt.Println(back.Value, back.Min, back.Max, back.Duration)
 	// Output:
 	// HostA/AgentX/ServletB/AverageResponseTime|001332988833

@@ -4,6 +4,13 @@
 // return I/O statistics — pages touched, buffer-pool misses, dirty
 // write-backs — which the store models convert into simulated disk time.
 //
+// Retained state is pointer-free: key bytes and field payloads live in two
+// append-only slabs owned by the tree, and nodes hold packed scalar refs
+// ([]kref / []vref) instead of strings and [][]byte values, so a
+// multi-million-row table is a handful of large buffers plus small scalar
+// slices to the garbage collector. Field layouts are interned in a shared
+// shape table; a same-shape update overwrites payload bytes in place.
+//
 // Two host-side fast paths keep the model cheap to execute without changing
 // anything it simulates:
 //
@@ -23,12 +30,16 @@
 //     contents and recency order, same charges on every later operation.
 package btree
 
-import "sort"
+import (
+	"sort"
 
-// Entry is a key with its field values.
+	"repro/internal/slab"
+)
+
+// Entry is a key with a view of its field values.
 type Entry struct {
 	Key    string
-	Fields [][]byte
+	Fields slab.FieldsView
 }
 
 // Config parameterizes the tree.
@@ -75,23 +86,38 @@ type pfx struct{ hi, lo uint64 }
 
 // prefixOf packs the first 16 bytes of k.
 func prefixOf(k string) pfx {
-	var p pfx
-	for i := 0; i < 8 && i < len(k); i++ {
-		p.hi |= uint64(k[i]) << (56 - 8*i)
+	return pfx{hi: slab.KeyPrefix(k, 0), lo: slab.KeyPrefix(k, 8)}
+}
+
+// kref locates a key in the tree's key slab: length in the low 16 bits,
+// chunk offset in the next 32, chunk index in the top 16. Key regions are
+// never overwritten, so zero-copy string views of them are sound.
+type kref uint64
+
+func makeKref(r slab.Ref, n int) kref {
+	if n > 0xffff {
+		panic("btree: key too long")
 	}
-	for i := 0; i < 8 && 8+i < len(k); i++ {
-		p.lo |= uint64(k[8+i]) << (56 - 8*i)
-	}
-	return p
+	return kref(uint64(n) | uint64(uint32(r))<<16 | (uint64(r)>>32)<<48)
+}
+
+func (k kref) ref() slab.Ref { return slab.Ref(uint64(k)>>48<<32 | uint64(k)>>16&0xffffffff) }
+func (k kref) len() int      { return int(k & 0xffff) }
+
+// vref locates a row's field payload in the tree's value slab:
+// fieldsLen(32) | shape(32) packed alongside the region ref.
+type vref struct {
+	ref  slab.Ref
+	meta uint64
 }
 
 type node struct {
 	id       int
 	leaf     bool
-	keys     []string // internal: separators (len == len(children)-1); leaf: entry keys
-	pfxs     []pfx    // keys[i]'s 16-byte prefix, kept parallel to keys
+	keys     []kref // internal: separators (len == len(children)-1); leaf: entry keys
+	pfxs     []pfx  // keys[i]'s 16-byte prefix, kept parallel to keys
 	children []*node
-	vals     [][][]byte
+	vals     []vref
 	next     *node // leaf chain
 
 	// Intrusive buffer-pool bookkeeping: the pool is a doubly linked list
@@ -107,60 +133,6 @@ type node struct {
 	stamp int64
 }
 
-// keyLess reports keys[i] < k, resolving by prefix words when they differ.
-func (n *node) keyLess(i int, k string, kp pfx) bool {
-	p := n.pfxs[i]
-	if p.hi != kp.hi {
-		return p.hi < kp.hi
-	}
-	if p.lo != kp.lo {
-		return p.lo < kp.lo
-	}
-	return n.keys[i] < k
-}
-
-// keyGreater reports keys[i] > k.
-func (n *node) keyGreater(i int, k string, kp pfx) bool {
-	p := n.pfxs[i]
-	if p.hi != kp.hi {
-		return p.hi > kp.hi
-	}
-	if p.lo != kp.lo {
-		return p.lo > kp.lo
-	}
-	return n.keys[i] > k
-}
-
-// searchGE returns the first index with keys[i] >= k
-// (sort.SearchStrings equivalent, prefix-accelerated).
-func (n *node) searchGE(k string, kp pfx) int {
-	lo, hi := 0, len(n.keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if n.keyLess(mid, k, kp) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
-// searchGT returns the first index with keys[i] > k: the child index for a
-// descent (children[i] covers keys < keys[i]).
-func (n *node) searchGT(k string, kp pfx) int {
-	lo, hi := 0, len(n.keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if n.keyGreater(mid, k, kp) {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
-}
-
 // Tree is a B+tree with buffer-pool accounting.
 type Tree struct {
 	cfg    Config
@@ -170,15 +142,28 @@ type Tree struct {
 	n      int
 	pages  int
 
+	keySlab slab.Slab
+	valSlab slab.Slab
+	shapes  slab.ShapeTable
+
 	pool pool
 
 	// pending is the buffered load batch; the tree is built from it on
-	// first use (see Load and seal).
-	pending []Entry
+	// first use (see Load and seal). Keys and payloads are already in the
+	// slabs, so the batch itself is pointer-free.
+	pending []pentry
 	// loading marks the deferred build's replay: page touches record
 	// last-touch stamps instead of driving the buffer pool.
 	loading bool
 	stampC  int64
+}
+
+// pentry is one buffered load record: its key ref, the key's prefix, and
+// its ingested payload.
+type pentry struct {
+	kr kref
+	kp pfx
+	v  vref
 }
 
 // New creates an empty tree.
@@ -195,6 +180,105 @@ func (t *Tree) newNode(leaf bool) *node {
 	t.nextID++
 	t.pages++
 	return &node{id: t.nextID, leaf: leaf}
+}
+
+// keyStr returns the key bytes for kr as a zero-copy string view.
+func (t *Tree) keyStr(kr kref) string { return t.keySlab.String(kr.ref(), kr.len()) }
+
+// ingestKey copies key into the key slab.
+func (t *Tree) ingestKey(key string) kref {
+	return makeKref(t.keySlab.AppendString(key), len(key))
+}
+
+// ingestFields interns the layout and copies the payload into the value
+// slab.
+func (t *Tree) ingestFields(fields [][]byte) vref {
+	shape, n := t.shapes.Intern(fields)
+	ref, buf := t.valSlab.Alloc(n)
+	p := 0
+	for _, f := range fields {
+		p += copy(buf[p:], f)
+	}
+	return vref{ref: ref, meta: uint64(uint32(n)) | uint64(shape)<<32}
+}
+
+// replace overwrites an existing row's payload. Same shape — the steady
+// state, since update workloads rewrite like-sized fields — writes the
+// bytes in place; a layout change carves a new region and abandons the
+// old one (arena semantics, reclaimed only when the tree is dropped).
+func (t *Tree) replace(v *vref, fields [][]byte) {
+	shape, n := t.shapes.Intern(fields)
+	if uint32(v.meta>>32) == shape {
+		buf := t.valSlab.View(v.ref, n)
+		p := 0
+		for _, f := range fields {
+			p += copy(buf[p:], f)
+		}
+		return
+	}
+	*v = t.ingestFields(fields)
+}
+
+// view returns the field view for a row.
+func (t *Tree) view(v vref) slab.FieldsView {
+	return slab.SlabView(
+		t.valSlab.View(v.ref, int(uint32(v.meta))),
+		t.shapes.Ends(uint32(v.meta>>32)),
+	)
+}
+
+// keyLess reports keys[i] < k, resolving by prefix words when they differ.
+func (t *Tree) keyLess(n *node, i int, k string, kp pfx) bool {
+	p := n.pfxs[i]
+	if p.hi != kp.hi {
+		return p.hi < kp.hi
+	}
+	if p.lo != kp.lo {
+		return p.lo < kp.lo
+	}
+	return t.keyStr(n.keys[i]) < k
+}
+
+// keyGreater reports keys[i] > k.
+func (t *Tree) keyGreater(n *node, i int, k string, kp pfx) bool {
+	p := n.pfxs[i]
+	if p.hi != kp.hi {
+		return p.hi > kp.hi
+	}
+	if p.lo != kp.lo {
+		return p.lo > kp.lo
+	}
+	return t.keyStr(n.keys[i]) > k
+}
+
+// searchGE returns the first index with keys[i] >= k
+// (sort.SearchStrings equivalent, prefix-accelerated).
+func (t *Tree) searchGE(n *node, k string, kp pfx) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.keyLess(n, mid, k, kp) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchGT returns the first index with keys[i] > k: the child index for a
+// descent (children[i] covers keys < keys[i]).
+func (t *Tree) searchGT(n *node, k string, kp pfx) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.keyGreater(n, mid, k, kp) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // touch records a buffer pool access to page n; dirty marks it modified.
@@ -235,15 +319,20 @@ func (t *Tree) admit(io *IOStats, n *node) {
 }
 
 // Load buffers an entry for the deferred bulk build, charging nothing: the
-// benchmark's load phase runs outside measured time. The tree is built on
-// first use (any read, write, scan or size accessor), replaying the batch
-// in arrival order — duplicate keys resolve last-write-wins, exactly as
-// per-record insertion would — and then reconstructing the buffer pool's
-// final state. The caller keeps no obligations: a bulk-loaded tree is
-// indistinguishable (pages, pool state, every later charge) from one built
-// by calling Put per record.
+// benchmark's load phase runs outside measured time. Key and payload bytes
+// are copied into the tree's slabs immediately (the caller's slices are not
+// retained). The tree is built on first use (any read, write, scan or size
+// accessor), replaying the batch in arrival order — duplicate keys resolve
+// last-write-wins, exactly as per-record insertion would — and then
+// reconstructing the buffer pool's final state. The caller keeps no
+// obligations: a bulk-loaded tree is indistinguishable (pages, pool state,
+// every later charge) from one built by calling Put per record.
 func (t *Tree) Load(key string, fields [][]byte) {
-	t.pending = append(t.pending, Entry{Key: key, Fields: fields})
+	t.pending = append(t.pending, pentry{
+		kr: t.ingestKey(key),
+		kp: prefixOf(key),
+		v:  t.ingestFields(fields),
+	})
 }
 
 // seal builds the tree from the buffered load batch, if any.
@@ -259,7 +348,7 @@ func (t *Tree) seal() {
 	t.loading = true
 	var io IOStats // load-phase page traffic is not charged
 	for i := range batch {
-		t.put(batch[i].Key, batch[i].Fields, &io)
+		t.put(t.keyStr(batch[i].kr), batch[i].kp, batch[i].kr, batch[i].v, &io)
 	}
 	t.loading = false
 	t.rebuildPool()
@@ -296,8 +385,8 @@ func collect(n *node, out *[]*node) {
 	}
 }
 
-// Get returns the fields for key.
-func (t *Tree) Get(key string) ([][]byte, bool, IOStats) {
+// Get returns a view of the fields for key.
+func (t *Tree) Get(key string) (slab.FieldsView, bool, IOStats) {
 	t.seal()
 	var io IOStats
 	kp := prefixOf(key)
@@ -305,13 +394,13 @@ func (t *Tree) Get(key string) ([][]byte, bool, IOStats) {
 	for {
 		t.touch(&io, n, false)
 		if n.leaf {
-			i := n.searchGE(key, kp)
-			if i < len(n.keys) && n.keys[i] == key {
-				return n.vals[i], true, io
+			i := t.searchGE(n, key, kp)
+			if i < len(n.keys) && t.keyStr(n.keys[i]) == key {
+				return t.view(n.vals[i]), true, io
 			}
-			return nil, false, io
+			return slab.FieldsView{}, false, io
 		}
-		n = n.children[n.searchGT(key, kp)]
+		n = n.children[t.searchGT(n, key, kp)]
 	}
 }
 
@@ -319,15 +408,17 @@ func (t *Tree) Get(key string) ([][]byte, bool, IOStats) {
 func (t *Tree) Put(key string, fields [][]byte) IOStats {
 	t.seal()
 	var io IOStats
-	t.put(key, fields, &io)
+	t.put(key, prefixOf(key), t.ingestKey(key), t.ingestFields(fields), &io)
 	return io
 }
 
-func (t *Tree) put(key string, fields [][]byte, io *IOStats) {
-	sep, sepPfx, right := t.insert(t.root, key, prefixOf(key), fields, io)
+// put inserts a pre-ingested entry. A duplicate key abandons the fresh key
+// region and repoints the row at the fresh payload (last write wins).
+func (t *Tree) put(key string, kp pfx, kr kref, v vref, io *IOStats) {
+	sep, sepPfx, right := t.insert(t.root, key, kp, kr, v, io)
 	if right != nil {
 		newRoot := t.newNode(false)
-		newRoot.keys = []string{sep}
+		newRoot.keys = []kref{sep}
 		newRoot.pfxs = []pfx{sepPfx}
 		newRoot.children = []*node{t.root, right}
 		t.root = newRoot
@@ -348,48 +439,48 @@ func (t *Tree) Update(key string, fields [][]byte) (bool, IOStats) {
 	n := t.root
 	for !n.leaf {
 		t.touch(&io, n, false)
-		n = n.children[n.searchGT(key, kp)]
+		n = n.children[t.searchGT(n, key, kp)]
 	}
-	i := n.searchGE(key, kp)
-	found := i < len(n.keys) && n.keys[i] == key
+	i := t.searchGE(n, key, kp)
+	found := i < len(n.keys) && t.keyStr(n.keys[i]) == key
 	t.touch(&io, n, found)
 	if found {
-		n.vals[i] = fields
+		t.replace(&n.vals[i], fields)
 	}
 	return found, io
 }
 
 // insert descends to the leaf; returns a separator (with its prefix) and
 // new right node if this subtree split.
-func (t *Tree) insert(n *node, key string, kp pfx, fields [][]byte, io *IOStats) (string, pfx, *node) {
+func (t *Tree) insert(n *node, key string, kp pfx, kr kref, v vref, io *IOStats) (kref, pfx, *node) {
 	t.touch(io, n, true)
 	if n.leaf {
-		i := n.searchGE(key, kp)
-		if i < len(n.keys) && n.keys[i] == key {
-			n.vals[i] = fields
-			return "", pfx{}, nil
+		i := t.searchGE(n, key, kp)
+		if i < len(n.keys) && t.keyStr(n.keys[i]) == key {
+			n.vals[i] = v
+			return 0, pfx{}, nil
 		}
-		n.keys = append(n.keys, "")
+		n.keys = append(n.keys, 0)
 		copy(n.keys[i+1:], n.keys[i:])
-		n.keys[i] = key
+		n.keys[i] = kr
 		n.pfxs = append(n.pfxs, pfx{})
 		copy(n.pfxs[i+1:], n.pfxs[i:])
 		n.pfxs[i] = kp
-		n.vals = append(n.vals, nil)
+		n.vals = append(n.vals, vref{})
 		copy(n.vals[i+1:], n.vals[i:])
-		n.vals[i] = fields
+		n.vals[i] = v
 		t.n++
 		if len(n.keys) <= t.cfg.LeafCap {
-			return "", pfx{}, nil
+			return 0, pfx{}, nil
 		}
 		return t.splitLeaf(n, io)
 	}
-	ci := n.searchGT(key, kp)
-	sep, sepPfx, right := t.insert(n.children[ci], key, kp, fields, io)
+	ci := t.searchGT(n, key, kp)
+	sep, sepPfx, right := t.insert(n.children[ci], key, kp, kr, v, io)
 	if right == nil {
-		return "", pfx{}, nil
+		return 0, pfx{}, nil
 	}
-	n.keys = append(n.keys, "")
+	n.keys = append(n.keys, 0)
 	copy(n.keys[ci+1:], n.keys[ci:])
 	n.keys[ci] = sep
 	n.pfxs = append(n.pfxs, pfx{})
@@ -399,12 +490,12 @@ func (t *Tree) insert(n *node, key string, kp pfx, fields [][]byte, io *IOStats)
 	copy(n.children[ci+2:], n.children[ci+1:])
 	n.children[ci+1] = right
 	if len(n.children) <= t.cfg.InternalCap {
-		return "", pfx{}, nil
+		return 0, pfx{}, nil
 	}
 	return t.splitInternal(n, io)
 }
 
-func (t *Tree) splitLeaf(n *node, io *IOStats) (string, pfx, *node) {
+func (t *Tree) splitLeaf(n *node, io *IOStats) (kref, pfx, *node) {
 	mid := len(n.keys) / 2
 	right := t.newNode(true)
 	right.keys = append(right.keys, n.keys[mid:]...)
@@ -416,10 +507,12 @@ func (t *Tree) splitLeaf(n *node, io *IOStats) (string, pfx, *node) {
 	right.next = n.next
 	n.next = right
 	t.admit(io, right)
+	// The separator shares the leaf key's slab region (key bytes are never
+	// overwritten, so the shared view stays sound).
 	return right.keys[0], right.pfxs[0], right
 }
 
-func (t *Tree) splitInternal(n *node, io *IOStats) (string, pfx, *node) {
+func (t *Tree) splitInternal(n *node, io *IOStats) (kref, pfx, *node) {
 	midKey := len(n.keys) / 2
 	sep, sepPfx := n.keys[midKey], n.pfxs[midKey]
 	right := t.newNode(false)
@@ -442,7 +535,7 @@ func (t *Tree) Scan(start string, count int) ([]Entry, IOStats) {
 	n := t.root
 	for !n.leaf {
 		t.touch(&io, n, false)
-		n = n.children[n.searchGT(start, kp)]
+		n = n.children[t.searchGT(n, start, kp)]
 	}
 	var out []Entry
 	first := true
@@ -450,11 +543,11 @@ func (t *Tree) Scan(start string, count int) ([]Entry, IOStats) {
 		t.touch(&io, n, false)
 		i := 0
 		if first {
-			i = n.searchGE(start, kp)
+			i = t.searchGE(n, start, kp)
 			first = false
 		}
 		for ; i < len(n.keys) && len(out) < count; i++ {
-			out = append(out, Entry{Key: n.keys[i], Fields: n.vals[i]})
+			out = append(out, Entry{Key: t.keyStr(n.keys[i]), Fields: t.view(n.vals[i])})
 		}
 		n = n.next
 	}
@@ -471,14 +564,14 @@ func (t *Tree) ScanAllFrom(start string) (entries int, io IOStats) {
 	n := t.root
 	for !n.leaf {
 		t.touch(&io, n, false)
-		n = n.children[n.searchGT(start, kp)]
+		n = n.children[t.searchGT(n, start, kp)]
 	}
 	first := true
 	for n != nil {
 		t.touch(&io, n, false)
 		i := 0
 		if first {
-			i = n.searchGE(start, kp)
+			i = t.searchGE(n, start, kp)
 			first = false
 		}
 		entries += len(n.keys) - i
@@ -498,6 +591,10 @@ func (t *Tree) Pages() int { t.seal(); return t.pages }
 
 // DiskBytes returns the on-disk footprint (pages x page size).
 func (t *Tree) DiskBytes() int64 { t.seal(); return int64(t.pages) * t.cfg.PageSize }
+
+// SlabBytes returns the heap footprint of the tree's key and payload
+// slabs (apmbench -memstats).
+func (t *Tree) SlabBytes() int64 { return t.keySlab.Allocated() + t.valSlab.Allocated() }
 
 // pool is a fixed-capacity page cache with dirty tracking, threaded
 // intrusively through the nodes it caches.

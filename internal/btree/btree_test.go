@@ -24,7 +24,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 	}
 	for i := 0; i < 1000; i++ {
 		v, ok, _ := tr.Get(fmt.Sprintf("k%06d", i))
-		if !ok || string(v[0]) != fmt.Sprintf("v%d", i) {
+		if !ok || string(v.Field(0)) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("Get(k%06d) = %v, %v", i, v, ok)
 		}
 	}
@@ -41,8 +41,8 @@ func TestPutReplaceKeepsLen(t *testing.T) {
 		t.Fatalf("Len = %d after replace, want 1", tr.Len())
 	}
 	v, _, _ := tr.Get("k")
-	if string(v[0]) != "b" {
-		t.Fatalf("value %s, want b", v[0])
+	if string(v.Field(0)) != "b" {
+		t.Fatalf("value %s, want b", v.Field(0))
 	}
 }
 
@@ -175,7 +175,7 @@ func TestPropertyAgainstMap(t *testing.T) {
 		}
 		for k, v := range ref {
 			got, ok, _ := tr.Get(k)
-			if !ok || string(got[0]) != v {
+			if !ok || string(got.Field(0)) != v {
 				return false
 			}
 		}
@@ -246,7 +246,7 @@ func TestBulkLoadSingleKey(t *testing.T) {
 	tr := New(small())
 	tr.Load("k", fields("v"))
 	v, ok, _ := tr.Get("k")
-	if !ok || string(v[0]) != "v" {
+	if !ok || string(v.Field(0)) != "v" {
 		t.Fatalf("Get after single-key bulk load = %v, %v", v, ok)
 	}
 	if tr.Len() != 1 || tr.Height() != 1 {
@@ -265,8 +265,8 @@ func TestBulkLoadDuplicateLastWins(t *testing.T) {
 		t.Fatalf("Len = %d with in-batch duplicates, want 100", tr.Len())
 	}
 	v, ok, _ := tr.Get("k042")
-	if !ok || string(v[0]) != "third" {
-		t.Fatalf("duplicate key resolved to %q, want last write", v[0])
+	if !ok || string(v.Field(0)) != "third" {
+		t.Fatalf("duplicate key resolved to %q, want last write", v.Field(0))
 	}
 }
 
@@ -324,7 +324,7 @@ func TestBulkBuildEquivalence(t *testing.T) {
 			if oka != okb || ioa != iob {
 				t.Fatalf("op %d: Get(%s) diverged: (%v,%+v) vs (%v,%+v)", op, k, oka, ioa, okb, iob)
 			}
-			if oka && string(va[0]) != string(vb[0]) {
+			if oka && string(va.Field(0)) != string(vb.Field(0)) {
 				t.Fatalf("op %d: Get(%s) values diverged", op, k)
 			}
 		case 1:
@@ -372,8 +372,8 @@ func TestUpdateRewritesInPlace(t *testing.T) {
 			pages, tr.Pages(), height, tr.Height(), n, tr.Len())
 	}
 	v, _, _ := tr.Get("k00500")
-	if string(v[0]) != "new" {
-		t.Fatalf("updated value = %q", v[0])
+	if string(v.Field(0)) != "new" {
+		t.Fatalf("updated value = %q", v.Field(0))
 	}
 }
 

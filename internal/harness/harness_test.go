@@ -397,3 +397,58 @@ func TestExplainRejectsBadCell(t *testing.T) {
 		t.Fatal("explain accepted voldemort scans")
 	}
 }
+
+// TestCompactionThresholdVariant pins the compaction-threshold deploy
+// variant: it is real model vocabulary (unlike btree-bulk it changes the
+// compaction schedule, so modeled numbers move), it reaches the LSM config
+// on both LSM stores, and malformed or misdirected forms are rejected.
+func TestCompactionThresholdVariant(t *testing.T) {
+	run := func(sys System, v string) (float64, int64) {
+		dep, err := DeployVariants(7, sys, cluster.ClusterM(2), 0.001, v)
+		if err != nil {
+			t.Fatalf("%s deploy %q: %v", sys, v, err)
+		}
+		if err := ycsb.Load(dep.Store, 20000); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ycsb.Run(dep.Engine, ycsb.RunConfig{
+			Store:          dep.Store,
+			Workload:       ycsb.WorkloadW,
+			Clients:        8,
+			InitialRecords: 20000,
+			Warmup:         50 * sim.Millisecond,
+			Measure:        200 * sim.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput(), dep.Store.DiskUsage()
+	}
+
+	// An eager threshold compacts tiers that the default of 4 leaves
+	// alone, so Cassandra's write-heavy cell must shift.
+	defTput, defDisk := run(Cassandra, "")
+	eagerTput, eagerDisk := run(Cassandra, "compaction-threshold=2")
+	if defTput == eagerTput && defDisk == eagerDisk {
+		t.Fatalf("cassandra compaction-threshold=2 changed nothing (tput %v, disk %d); variant not reaching the LSM",
+			defTput, defDisk)
+	}
+	// HBase accepts the same vocabulary (its write cell is too small here
+	// to accumulate a tier, so only deployability is asserted).
+	run(HBase, "compaction-threshold=2")
+
+	for _, bad := range []struct {
+		sys System
+		v   string
+	}{
+		{Redis, "compaction-threshold=2"},     // not an LSM store
+		{MySQL, "compaction-threshold=2"},     // not an LSM store
+		{Cassandra, "compaction-threshold=1"}, // below the minimum of 2
+		{Cassandra, "compaction-threshold=x"}, // not an integer
+		{HBase, "compaction-threshold="},      // empty value
+	} {
+		if _, err := DeployVariants(1, bad.sys, cluster.ClusterM(1), 0.001, bad.v); err == nil {
+			t.Fatalf("%s accepted %q", bad.sys, bad.v)
+		}
+	}
+}

@@ -230,6 +230,13 @@ type Runner struct {
 	// serialized; RunAll delivers lines in plan order regardless of which
 	// worker finishes first.
 	Progress func(string)
+	// MemStats, when set, receives one diagnostic line per executed cell
+	// after its load phase: the store's retained slab bytes (keys, field
+	// payloads, index arenas) and the process heap in use. Lines are
+	// host-side diagnostics only — they never touch the simulation — but
+	// heap numbers vary with GC timing and -parallel width, so the
+	// determinism gate runs without them.
+	MemStats func(string)
 
 	mu       sync.Mutex
 	cache    map[string]CellResult
@@ -340,6 +347,27 @@ func (r *Runner) emit(line string) {
 	}
 	r.progressMu.Lock()
 	r.Progress(line)
+	r.progressMu.Unlock()
+}
+
+// reportMemStats emits one -memstats line for a freshly loaded cell: the
+// store's retained slab bytes (per record, when it reports them) and the
+// process-wide heap in use. Purely host-side observation — no simulation
+// state is read or advanced.
+func (r *Runner) reportMemStats(key string, s store.Store, records int64) {
+	if r.MemStats == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	line := fmt.Sprintf("memstats %s: records=%d heap-inuse=%.1fMB", key, records,
+		float64(ms.HeapInuse)/(1<<20))
+	if slab, ok := store.SlabBytesOf(s); ok && records > 0 {
+		line += fmt.Sprintf(" slab=%.1fMB (%.1f B/record)",
+			float64(slab)/(1<<20), float64(slab)/float64(records))
+	}
+	r.progressMu.Lock()
+	r.MemStats(line)
 	r.progressMu.Unlock()
 }
 
@@ -484,6 +512,7 @@ func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
 	if err := ycsb.LoadSized(dep.Store, rv.records, rv.wl.FieldSize()); err != nil {
 		return CellResult{}, err
 	}
+	r.reportMemStats(key, dep.Store, rv.records)
 	// Fault injection rides the cell's own event stream: the schedule's
 	// fractional windows resolve against warmup+measure, so the same
 	// schedule exercises paper and quick fidelity alike.
@@ -539,9 +568,11 @@ func (r *Runner) loadOnly(c Cell, key string) (CellResult, error) {
 	if err != nil {
 		return CellResult{}, err
 	}
-	if err := ycsb.LoadSized(dep.Store, recordsFor(c, r.Cfg), fieldBytes); err != nil {
+	records := recordsFor(c, r.Cfg)
+	if err := ycsb.LoadSized(dep.Store, records, fieldBytes); err != nil {
 		return CellResult{}, err
 	}
+	r.reportMemStats(key, dep.Store, records)
 	return CellResult{
 		Cell:                c,
 		DiskBytesPaperScale: float64(dep.Store.DiskUsage()) / r.Cfg.Scale,

@@ -74,8 +74,8 @@ func Deploy(seed int64, sys System, spec cluster.Spec, scale float64) (*Deployme
 //
 //	cassandra: tokens=random|optimal, commitlog=off|<ms>,
 //	           replication=<n>, consistency=one|all|<n>,
-//	           compression=on|off
-//	hbase:     autoflush=on|off
+//	           compression=on|off, compaction-threshold=<n>
+//	hbase:     autoflush=on|off, compaction-threshold=<n>
 //	redis:     sharding=balanced|ring
 //	voltdb:    async=on|off
 //	mysql:     binlog=on|off, btree-bulk=on|off
@@ -87,6 +87,13 @@ func Deploy(seed int64, sys System, spec cluster.Spec, scale float64) (*Deployme
 // place of the deferred bulk build (host-side A/B profiling knob; both
 // paths produce bit-identical trees, pool states and charges, so the
 // variant changes the cell's cache key but never its numbers).
+//
+// compaction-threshold=<n> sets the LSM stores' size-tiered compaction
+// trigger — sstables per tier before a merge (Cassandra's
+// min_compaction_threshold, HBase's hbase.hstore.compactionThreshold; the
+// paper's default is 4, and n must be at least 2). Lower values compact
+// eagerly (fewer runs to read, more write amplification); higher values
+// let tiers grow.
 //
 // An empty Variants string is the paper's configuration; such cells share
 // cache entries (and seeds) with the corresponding figure cells.
@@ -229,6 +236,12 @@ func deployCassandra(c *cluster.Cluster, scale float64, kvs [][2]string) (store.
 				return nil, err
 			}
 			opts.Compression = on
+		case "compaction-threshold":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 2 {
+				return nil, fmt.Errorf("harness: cassandra variant compaction-threshold=%s: want an integer >= 2", v)
+			}
+			opts.CompactMin = n
 		default:
 			return nil, fmt.Errorf("harness: cassandra does not support variant %q", k)
 		}
@@ -264,6 +277,12 @@ func deployHBase(c *cluster.Cluster, scale float64, kvs [][2]string) (store.Stor
 				return nil, err
 			}
 			opts.AutoFlush = on
+		case "compaction-threshold":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n < 2 {
+				return nil, fmt.Errorf("harness: hbase variant compaction-threshold=%s: want an integer >= 2", kv[1])
+			}
+			opts.CompactMin = n
 		default:
 			return nil, fmt.Errorf("harness: hbase does not support variant %q", kv[0])
 		}

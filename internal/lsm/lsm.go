@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/memtable"
 	"repro/internal/sim"
+	"repro/internal/slab"
 	"repro/internal/sstable"
 	"repro/internal/wal"
 )
@@ -161,7 +162,7 @@ func (t *Tree) chargeTableRead(p *sim.Proc) {
 // compaction publishes a new slice, never mutates this one), and the first
 // confirmed hit cannot be shadowed by any table probed later — older
 // generations are skipped entirely instead of probed and discarded.
-func (t *Tree) Get(p *sim.Proc, key string) ([][]byte, bool) {
+func (t *Tree) Get(p *sim.Proc, key string) (slab.FieldsView, bool) {
 	if v, ok := t.mem.Get(key); ok {
 		t.memHits++
 		return v, true
@@ -177,7 +178,7 @@ func (t *Tree) Get(p *sim.Proc, key string) ([][]byte, bool) {
 			return v, true
 		}
 	}
-	return nil, false
+	return slab.FieldsView{}, false
 }
 
 // memtableGen orders the memtable above every SSTable generation when
@@ -345,9 +346,10 @@ func (t *Tree) flushNow(_ *sim.Proc) {
 		return
 	}
 	t.gen++
-	tab := sstable.BuildSorted(t.gen, t.mem.All(), t.cfg.Overhead, t.cfg.BloomFPP)
-	t.installTable(tab, t.mem.Bytes())
+	mem := t.mem
 	t.mem = memtable.New(t.cfg.Seed + int64(t.gen) + 1)
+	tab := sstable.FromMemtable(t.gen, mem, t.cfg.Overhead, t.cfg.BloomFPP)
+	t.installTable(tab, mem.Bytes())
 	t.maybeCompactDirect()
 }
 
@@ -492,6 +494,17 @@ func (t *Tree) DiskBytes() int64 { return t.tableBytes }
 
 // MemBytes returns the current memtable payload size.
 func (t *Tree) MemBytes() int64 { return t.mem.Bytes() }
+
+// SlabBytes returns the retained heap footprint of the tree's record
+// state: the memtable's arenas plus every live table's payload slab and
+// entry metadata (apmbench -memstats).
+func (t *Tree) SlabBytes() int64 {
+	b := t.mem.SlabBytes()
+	for _, tab := range t.tables {
+		b += tab.SlabBytes()
+	}
+	return b
+}
 
 // Compactions returns how many compactions have completed.
 func (t *Tree) Compactions() int64 { return t.compactions }

@@ -29,7 +29,7 @@ func TestPutGetThroughMemtable(t *testing.T) {
 	e.Go("w", func(p *sim.Proc) {
 		tr.Put(p, "k1", fields("v1"))
 		v, ok := tr.Get(p, "k1")
-		if !ok || string(v[0]) != "v1" {
+		if !ok || string(v.Field(0)) != "v1" {
 			t.Errorf("Get(k1) = %v, %v", v, ok)
 		}
 		if _, ok := tr.Get(p, "nope"); ok {
@@ -81,8 +81,8 @@ func TestNewestValueWinsAcrossTables(t *testing.T) {
 	e.Run(0)
 	e.Go("r", func(p *sim.Proc) {
 		v, ok := tr.Get(p, "hot")
-		if !ok || string(v[0]) != "new" {
-			t.Errorf("Get(hot) = %q, want new", v)
+		if !ok || string(v.Field(0)) != "new" {
+			t.Errorf("Get(hot) = %q, want new", v.Field(0))
 		}
 	})
 	e.Run(0)
@@ -260,7 +260,7 @@ func TestPropertyLastWriteWins(t *testing.T) {
 			}
 			for k, v := range want {
 				got, found := tr.Get(p, k)
-				if !found || string(got[0]) != v {
+				if !found || string(got.Field(0)) != v {
 					ok = false
 				}
 			}
@@ -297,8 +297,8 @@ func TestGetStopsAtNewestHit(t *testing.T) {
 		// Errorf, not Fatalf: Fatalf must not run off the test goroutine
 		// and would deadlock the engine.
 		v, ok := tr.Get(p, "hot")
-		if !ok || string(v[0]) != "new" {
-			t.Errorf("Get(hot) = %q, %v, want new", v, ok)
+		if !ok || string(v.Field(0)) != "new" {
+			t.Errorf("Get(hot) = %q, %v, want new", v.Field(0), ok)
 		}
 	})
 	e.Run(0)

@@ -2,12 +2,15 @@ package memtable
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
 )
 
 func f1(s string) [][]byte { return [][]byte{[]byte(s)} }
+
+func field0(e Entry) string { return string(e.Fields.Field(0)) }
 
 func TestPutGet(t *testing.T) {
 	m := New(1)
@@ -16,7 +19,7 @@ func TestPutGet(t *testing.T) {
 	m.Put("c", f1("vc"))
 	for _, k := range []string{"a", "b", "c"} {
 		v, ok := m.Get(k)
-		if !ok || string(v[0]) != "v"+k {
+		if !ok || string(v.Field(0)) != "v"+k {
 			t.Fatalf("Get(%q) = %v, %v", k, v, ok)
 		}
 	}
@@ -33,8 +36,8 @@ func TestPutReplaces(t *testing.T) {
 		t.Fatalf("Len = %d after replace, want 1", m.Len())
 	}
 	v, _ := m.Get("k")
-	if string(v[0]) != "v2" {
-		t.Fatalf("value = %s, want v2", v[0])
+	if string(v.Field(0)) != "v2" {
+		t.Fatalf("value = %s, want v2", v.Field(0))
 	}
 }
 
@@ -129,7 +132,7 @@ func TestPropertyAgainstMap(t *testing.T) {
 		}
 		for k, v := range ref {
 			got, ok := m.Get(k)
-			if !ok || string(got[0]) != v {
+			if !ok || string(got.Field(0)) != v {
 				return false
 			}
 		}
@@ -231,15 +234,15 @@ func TestPutCopiesFields(t *testing.T) {
 	m.Put("k2", buf)
 	v1, _ := m.Get("k1")
 	v2, _ := m.Get("k2")
-	if string(v1[0]) != "aaaa" || string(v1[1]) != "bbbb" {
-		t.Fatalf("k1 = %q/%q: stored value aliased the caller's buffer", v1[0], v1[1])
+	if string(v1.Field(0)) != "aaaa" || string(v1.Field(1)) != "bbbb" {
+		t.Fatalf("k1 = %q/%q: stored value aliased the caller's buffer", v1.Field(0), v1.Field(1))
 	}
-	if string(v2[0]) != "XXXX" || string(v2[1]) != "YYYY" {
-		t.Fatalf("k2 = %q/%q, want the mutated buffer's contents", v2[0], v2[1])
+	if string(v2.Field(0)) != "XXXX" || string(v2.Field(1)) != "YYYY" {
+		t.Fatalf("k2 = %q/%q, want the mutated buffer's contents", v2.Field(0), v2.Field(1))
 	}
 }
 
-// TestReplaceDifferentShape covers the arena-recarve branch: replacing
+// TestReplaceDifferentShape covers the slab-recarve branch: replacing
 // with a different field count or size must not corrupt earlier values.
 func TestReplaceDifferentShape(t *testing.T) {
 	m := New(1)
@@ -248,20 +251,189 @@ func TestReplaceDifferentShape(t *testing.T) {
 	m.Put("a", [][]byte{[]byte("xy"), []byte("longer-than-before")})
 	va, _ := m.Get("a")
 	vb, _ := m.Get("b")
-	if len(va) != 2 || string(va[0]) != "xy" || string(va[1]) != "longer-than-before" {
-		t.Fatalf("a = %q", va)
+	if va.Len() != 2 || string(va.Field(0)) != "xy" || string(va.Field(1)) != "longer-than-before" {
+		t.Fatalf("a = %q/%q", va.Field(0), va.Field(1))
 	}
-	if len(vb) != 1 || string(vb[0]) != "0123456789" {
-		t.Fatalf("b = %q: neighbor corrupted by reshaped replace", vb)
+	if vb.Len() != 1 || string(vb.Field(0)) != "0123456789" {
+		t.Fatalf("b = %q: neighbor corrupted by reshaped replace", vb.Field(0))
 	}
 	if m.Bytes() != 1+20+1+10 {
 		t.Fatalf("Bytes = %d, want 32", m.Bytes())
 	}
 }
 
+// refTable is the op-for-op reference model for TestSlabLayoutEquivalence:
+// a map plus payload accounting with the PR-4 memtable's exact semantics.
+type refTable struct {
+	vals  map[string][]string
+	bytes int64
+}
+
+func (r *refTable) put(key string, fields [][]byte) {
+	var n int64
+	fs := make([]string, len(fields))
+	for i, f := range fields {
+		fs[i] = string(f)
+		n += int64(len(f))
+	}
+	if old, ok := r.vals[key]; ok {
+		for _, f := range old {
+			r.bytes -= int64(len(f))
+		}
+	} else {
+		r.bytes += int64(len(key))
+	}
+	r.vals[key] = fs
+	r.bytes += n
+}
+
+func (r *refTable) sortedKeys() []string {
+	ks := make([]string, 0, len(r.vals))
+	for k := range r.vals {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// TestSlabLayoutEquivalence pins the slab-backed memtable against the
+// PR-4 layout's observable behavior op-for-op: after every operation of
+// a seeded random workload (inserts, same-shape replaces, reshaping
+// replaces, point gets, scans), Len/Bytes/Get/Scan/All/SeekIter must
+// agree exactly with a reference model implementing the documented PR-4
+// semantics. This is the contract that makes the layout swap host-side
+// only: Bytes() drives flush timing, All() order drives sstable
+// contents, and both must be bit-for-bit what the pointer-based
+// implementation produced.
+func TestSlabLayoutEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	m := New(5)
+	ref := &refTable{vals: map[string][]string{}}
+	randFields := func() [][]byte {
+		n := 1 + rng.Intn(4)
+		fs := make([][]byte, n)
+		for i := range fs {
+			b := make([]byte, rng.Intn(20))
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			fs[i] = b
+		}
+		return fs
+	}
+	checkEntry := func(op int, e Entry, key string) {
+		want := ref.vals[key]
+		if e.Fields.Len() != len(want) {
+			t.Fatalf("op %d: entry %q has %d fields, want %d", op, key, e.Fields.Len(), len(want))
+		}
+		for i, w := range want {
+			if string(e.Fields.Field(i)) != w {
+				t.Fatalf("op %d: entry %q field %d = %q, want %q", op, key, i, e.Fields.Field(i), w)
+			}
+		}
+	}
+	for op := 0; op < 3000; op++ {
+		key := fmt.Sprintf("user%09d", rng.Intn(400))
+		switch rng.Intn(4) {
+		case 0, 1: // insert or replace
+			f := randFields()
+			m.Put(key, f)
+			ref.put(key, f)
+		case 2: // point get
+			v, ok := m.Get(key)
+			_, wok := ref.vals[key]
+			if ok != wok {
+				t.Fatalf("op %d: Get(%q) present=%v, want %v", op, key, ok, wok)
+			}
+			if ok {
+				checkEntry(op, Entry{Key: key, Fields: v}, key)
+			}
+		case 3: // scan from a random start
+			count := 1 + rng.Intn(8)
+			got := m.Scan(key, count)
+			var want []string
+			for _, k := range ref.sortedKeys() {
+				if k >= key && len(want) < count {
+					want = append(want, k)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("op %d: Scan(%q,%d) len %d, want %d", op, key, count, len(got), len(want))
+			}
+			for i, e := range got {
+				if e.Key != want[i] {
+					t.Fatalf("op %d: Scan[%d] = %q, want %q", op, i, e.Key, want[i])
+				}
+				checkEntry(op, e, e.Key)
+			}
+		}
+		if m.Len() != len(ref.vals) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref.vals))
+		}
+		if m.Bytes() != ref.bytes {
+			t.Fatalf("op %d: Bytes = %d, want %d", op, m.Bytes(), ref.bytes)
+		}
+	}
+	// Full-table sweep: All and SeekIter("") agree with the model.
+	keys := ref.sortedKeys()
+	all := m.All()
+	if len(all) != len(keys) {
+		t.Fatalf("All len = %d, want %d", len(all), len(keys))
+	}
+	it := m.SeekIter("")
+	for i, k := range keys {
+		if all[i].Key != k {
+			t.Fatalf("All[%d] = %q, want %q", i, all[i].Key, k)
+		}
+		checkEntry(-1, all[i], k)
+		if !it.Valid() || it.Entry().Key != k {
+			t.Fatalf("iterator at %d: valid=%v, want key %q", i, it.Valid(), k)
+		}
+		it.Next()
+	}
+	if it.Valid() {
+		t.Fatal("iterator valid past the last key")
+	}
+}
+
+func TestFreezeHandsOffEntries(t *testing.T) {
+	m := New(3)
+	for i := 0; i < 100; i++ {
+		m.Put(fmt.Sprintf("k%03d", i), f1(fmt.Sprintf("v%d", i)))
+	}
+	var keys []string
+	data, shapes := m.Freeze(func(e FlushEntry) {
+		keys = append(keys, data0(m, e))
+	})
+	if len(keys) != 100 || !sort.StringsAreSorted(keys) {
+		t.Fatalf("Freeze yielded %d keys (sorted=%v)", len(keys), sort.StringsAreSorted(keys))
+	}
+	// The handed-off slab resolves the same payload the memtable held.
+	v, _ := m.Get("k042")
+	got := data.View(0, 1) // probe: slab is alive and indexable
+	_ = got
+	if string(v.Field(0)) != "v42" {
+		t.Fatalf("frozen memtable Get = %q", v.Field(0))
+	}
+	if shapes.Len() == 0 {
+		t.Fatal("shape table handed off empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put after Freeze did not panic")
+		}
+	}()
+	m.Put("new", f1("v"))
+}
+
+// data0 resolves a FlushEntry's key through the memtable's own slab.
+func data0(m *Memtable, e FlushEntry) string {
+	return m.data.String(e.Ref, e.KeyLen)
+}
+
 // BenchmarkMemtablePut measures the steady-state insert path with keys
 // built outside the timed loop, so the reported allocs/op are the
-// memtable's own (tower nodes, field copies), not the caller's key
+// memtable's own (arena nodes, field copies), not the caller's key
 // construction.
 func BenchmarkMemtablePut(b *testing.B) {
 	const pool = 1 << 20
@@ -281,42 +453,47 @@ func BenchmarkMemtablePut(b *testing.B) {
 	}
 }
 
-func BenchmarkGet(b *testing.B) {
+// BenchmarkMemtableGet measures the point-read path — the skip-list
+// search that dominates figure-run host CPU — over a loaded table with
+// keys prebuilt outside the loop.
+func BenchmarkMemtableGet(b *testing.B) {
+	const n = 100000
+	keys := make([]string, n)
 	m := New(1)
-	for i := 0; i < 100000; i++ {
-		m.Put(fmt.Sprintf("key%09d", i), f1("0123456789"))
+	fields := [][]byte{
+		[]byte("0123456780"), []byte("0123456781"), []byte("0123456782"),
+		[]byte("0123456783"), []byte("0123456784"),
 	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%09d", i*7919%n)
+		m.Put(keys[i], fields)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Get(fmt.Sprintf("key%09d", i%100000))
+		m.Get(keys[i%n])
 	}
 }
 
-func TestSeekIterMatchesScan(t *testing.T) {
+// BenchmarkMemtableScan measures the iterator walk over the bottom
+// level: one seek plus a fixed-length cursor advance per iteration, the
+// shape of the LSM scan path's memtable source.
+func BenchmarkMemtableScan(b *testing.B) {
+	const n = 100000
+	keys := make([]string, n)
 	m := New(1)
-	for i := 0; i < 200; i += 2 {
-		m.Put(fmt.Sprintf("k%03d", i), f1(fmt.Sprintf("v%d", i)))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%09d", i*7919%n)
+		m.Put(keys[i], [][]byte{[]byte("0123456789")})
 	}
-	for _, start := range []string{"", "k050", "k051", "k198", "k199", "z"} {
-		want := m.Scan(start, 1<<30)
-		var got []Entry
-		for it := m.SeekIter(start); it.Valid(); it.Next() {
-			got = append(got, it.Entry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := m.SeekIter(keys[i%n])
+		for j := 0; j < 100 && it.Valid(); j++ {
+			e := it.Entry()
+			_ = e.Fields
+			it.Next()
 		}
-		if len(got) != len(want) {
-			t.Fatalf("SeekIter(%q) yielded %d entries, Scan %d", start, len(got), len(want))
-		}
-		for i := range got {
-			if got[i].Key != want[i].Key || string(got[i].Fields[0]) != string(want[i].Fields[0]) {
-				t.Fatalf("SeekIter(%q)[%d] = %v, want %v", start, i, got[i], want[i])
-			}
-		}
-	}
-}
-
-func TestSeekIterEmptyTable(t *testing.T) {
-	m := New(1)
-	if it := m.SeekIter(""); it.Valid() {
-		t.Fatal("iterator over empty memtable is valid")
 	}
 }

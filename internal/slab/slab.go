@@ -1,0 +1,293 @@
+// Package slab provides flat, offset-indexed byte storage for retained
+// record state. The memtable, sstables and B-tree keep keys and field
+// payloads in large append-only []byte chunks addressed by packed
+// (chunk, offset) refs instead of per-record string/slice objects, so a
+// 10M-record table is a handful of large pointer-free buffers to the
+// garbage collector rather than tens of millions of scannable objects.
+//
+// The package has three pieces:
+//
+//   - Slab: a chunked append-only byte arena. Alloc carves a region and
+//     returns a Ref; View/String recover the bytes later. Chunks are
+//     never moved, so refs and views stay valid for the slab's lifetime.
+//   - ShapeTable: an interner for field layouts. A record's per-field
+//     lengths are stored once as a cumulative-end-offset slice shared by
+//     every record with that shape, so uniform-schema workloads (the
+//     benchmark's 5×90-byte rows) pay zero per-record layout storage.
+//   - FieldsView: a read-only view of one record's field values, backed
+//     either by a slab region plus a shape, or by a materialized
+//     [][]byte (for callers that still build records by hand).
+package slab
+
+import "unsafe"
+
+// KeyPrefix packs bytes [off, off+8) of k as a big-endian integer, zero
+// padded. Zero-padded big-endian prefix order is a coarsening of
+// lexicographic order — prefix(a) < prefix(b) implies a < b, and equal
+// prefixes decide nothing either way — so ordered structures compare two
+// of these in registers and fall back to byte-wise compares only on a
+// double tie.
+func KeyPrefix(k string, off int) uint64 {
+	var p uint64
+	for i := 0; i < 8 && off+i < len(k); i++ {
+		p |= uint64(k[off+i]) << (56 - 8*i)
+	}
+	return p
+}
+
+// Ref addresses a region inside a Slab: chunk index in the high 32 bits,
+// byte offset within the chunk in the low 32. The zero Ref addresses the
+// first byte of the first chunk, so a Ref is only meaningful alongside
+// the length the caller carved.
+type Ref uint64
+
+// chunkBytes is the default chunk capacity. Large enough that chunk
+// allocations amortize to ~zero per record, small enough that a nearly
+// empty table wastes little.
+const chunkBytes = 512 << 10
+
+// Slab is a chunked append-only byte arena. The zero value is ready to
+// use. Not safe for concurrent use.
+type Slab struct {
+	chunks [][]byte
+	// allocated is the total capacity of all chunks, for footprint
+	// reporting (apmbench -memstats).
+	allocated int64
+}
+
+// Alloc carves n bytes and returns the region's ref plus the writable
+// bytes. The region is never reclaimed or moved; abandoned regions
+// (shape-changing replaces) are reclaimed only when the whole slab is
+// dropped, the same arena semantics the PR-4 memtable had.
+func (s *Slab) Alloc(n int) (Ref, []byte) {
+	ci := len(s.chunks) - 1
+	var c []byte
+	if ci >= 0 {
+		c = s.chunks[ci]
+	}
+	if ci < 0 || cap(c)-len(c) < n {
+		size := chunkBytes
+		if n > size {
+			size = n
+		}
+		c = make([]byte, 0, size)
+		s.chunks = append(s.chunks, c)
+		s.allocated += int64(size)
+		ci++
+	}
+	off := len(c)
+	c = c[: off+n : cap(c)]
+	s.chunks[ci] = c
+	return Ref(uint64(ci)<<32 | uint64(off)), c[off : off+n : off+n]
+}
+
+// Append copies b into the slab and returns its ref.
+func (s *Slab) Append(b []byte) Ref {
+	ref, dst := s.Alloc(len(b))
+	copy(dst, b)
+	return ref
+}
+
+// AppendString copies str into the slab without an intermediate []byte.
+func (s *Slab) AppendString(str string) Ref {
+	ref, dst := s.Alloc(len(str))
+	copy(dst, str)
+	return ref
+}
+
+// View returns the n bytes at ref. The slice aliases slab memory; treat
+// it as read-only unless you own the region.
+func (s *Slab) View(ref Ref, n int) []byte {
+	c := s.chunks[ref>>32]
+	off := uint32(ref)
+	return c[off : int(off)+n : int(off)+n]
+}
+
+// String returns the n bytes at ref as a string without copying. Sound
+// only for regions that are never overwritten (keys: the memtable and
+// B-tree overwrite field bytes in place, never key bytes).
+func (s *Slab) String(ref Ref, n int) string {
+	if n == 0 {
+		return ""
+	}
+	b := s.View(ref, n)
+	return unsafe.String(unsafe.SliceData(b), n)
+}
+
+// Allocated returns the total chunk capacity in bytes, including regions
+// carved and later abandoned. This is the slab's true heap footprint.
+func (s *Slab) Allocated() int64 { return s.allocated }
+
+// Reset drops all chunks, releasing them to the GC.
+func (s *Slab) Reset() { *s = Slab{} }
+
+// ShapeTable interns field layouts. A shape is the cumulative end offset
+// of each field within a record's concatenated payload; records store a
+// small shape index instead of per-field length headers. Steady-state
+// workloads reuse one shape for millions of records, so Intern is a
+// last-match check that almost always hits.
+type ShapeTable struct {
+	shapes [][]uint32
+	last   uint32
+}
+
+// Intern returns the shape index for fields plus the total payload
+// length. It allocates only when a never-before-seen layout appears.
+func (t *ShapeTable) Intern(fields [][]byte) (uint32, int) {
+	if int(t.last) < len(t.shapes) && endsMatch(t.shapes[t.last], fields) {
+		return t.last, total(t.shapes[t.last])
+	}
+	for i, e := range t.shapes {
+		if endsMatch(e, fields) {
+			t.last = uint32(i)
+			return t.last, total(e)
+		}
+	}
+	e := make([]uint32, len(fields))
+	n := uint32(0)
+	for i, f := range fields {
+		n += uint32(len(f))
+		e[i] = n
+	}
+	t.shapes = append(t.shapes, e)
+	t.last = uint32(len(t.shapes) - 1)
+	return t.last, int(n)
+}
+
+// InternEnds is Intern for a layout already expressed as cumulative end
+// offsets (re-interning a view from another slab during merges).
+func (t *ShapeTable) InternEnds(ends []uint32) uint32 {
+	if int(t.last) < len(t.shapes) && endsEqual(t.shapes[t.last], ends) {
+		return t.last
+	}
+	for i, e := range t.shapes {
+		if endsEqual(e, ends) {
+			t.last = uint32(i)
+			return t.last
+		}
+	}
+	e := make([]uint32, len(ends))
+	copy(e, ends)
+	t.shapes = append(t.shapes, e)
+	t.last = uint32(len(t.shapes) - 1)
+	return t.last
+}
+
+// Ends returns the cumulative end offsets for a shape index.
+func (t *ShapeTable) Ends(idx uint32) []uint32 { return t.shapes[idx] }
+
+// Len returns the number of interned shapes.
+func (t *ShapeTable) Len() int { return len(t.shapes) }
+
+func endsMatch(ends []uint32, fields [][]byte) bool {
+	if len(ends) != len(fields) {
+		return false
+	}
+	n := uint32(0)
+	for i, f := range fields {
+		n += uint32(len(f))
+		if ends[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func endsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func total(ends []uint32) int {
+	if len(ends) == 0 {
+		return 0
+	}
+	return int(ends[len(ends)-1])
+}
+
+// FieldsView is a read-only view of one record's field values. The slab
+// form references a contiguous payload region plus a shared shape; the
+// materialized form wraps a caller-built [][]byte. The zero value views
+// zero fields.
+type FieldsView struct {
+	data   []byte   // concatenated field payload (slab form)
+	ends   []uint32 // cumulative end offsets, len = field count (slab form)
+	fields [][]byte // materialized form; nil in slab form
+}
+
+// SlabView builds the slab-backed form: data is the record's
+// concatenated field payload, ends the shared cumulative offsets.
+func SlabView(data []byte, ends []uint32) FieldsView {
+	return FieldsView{data: data, ends: ends}
+}
+
+// View wraps a materialized field set without copying.
+func View(fields [][]byte) FieldsView { return FieldsView{fields: fields} }
+
+// Len returns the number of fields.
+func (v FieldsView) Len() int {
+	if v.fields != nil {
+		return len(v.fields)
+	}
+	return len(v.ends)
+}
+
+// Field returns the i'th field's bytes. The slice aliases the record's
+// backing store and must be treated as read-only; a later same-shape
+// replace overwrites it in place (the memtable's documented "state as of
+// the last positioning I/O" semantics).
+func (v FieldsView) Field(i int) []byte {
+	if v.fields != nil {
+		return v.fields[i]
+	}
+	start := uint32(0)
+	if i > 0 {
+		start = v.ends[i-1]
+	}
+	return v.data[start:v.ends[i]:v.ends[i]]
+}
+
+// Bytes returns the total payload length across all fields.
+func (v FieldsView) Bytes() int64 {
+	if v.fields != nil {
+		var n int64
+		for _, f := range v.fields {
+			n += int64(len(f))
+		}
+		return n
+	}
+	if len(v.ends) == 0 {
+		return 0
+	}
+	return int64(v.ends[len(v.ends)-1])
+}
+
+// Slab reports whether the view is slab-backed, and if so returns its
+// payload region and shape (for zero-copy handoff between slab owners).
+func (v FieldsView) Slab() (data []byte, ends []uint32, ok bool) {
+	if v.fields != nil {
+		return nil, nil, false
+	}
+	return v.data, v.ends, true
+}
+
+// Materialize copies the fields out into a fresh [][]byte.
+func (v FieldsView) Materialize() [][]byte {
+	n := v.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		f := v.Field(i)
+		out[i] = append([]byte(nil), f...)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package slab
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestAllocViewRoundTrip(t *testing.T) {
+	var s Slab
+	type region struct {
+		ref Ref
+		val []byte
+	}
+	var regions []region
+	for i := 0; i < 1000; i++ {
+		val := []byte(fmt.Sprintf("value-%04d", i))
+		ref, dst := s.Alloc(len(val))
+		copy(dst, val)
+		regions = append(regions, region{ref, val})
+	}
+	for _, r := range regions {
+		if got := s.View(r.ref, len(r.val)); !bytes.Equal(got, r.val) {
+			t.Fatalf("View(%#x) = %q, want %q", r.ref, got, r.val)
+		}
+		if got := s.String(r.ref, len(r.val)); got != string(r.val) {
+			t.Fatalf("String(%#x) = %q, want %q", r.ref, got, r.val)
+		}
+	}
+}
+
+func TestAllocSpansChunks(t *testing.T) {
+	var s Slab
+	big := make([]byte, chunkBytes-10)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	r1 := s.Append(big)
+	r2 := s.Append([]byte("after-boundary")) // does not fit in chunk 0
+	if !bytes.Equal(s.View(r1, len(big)), big) {
+		t.Fatal("first region corrupted after chunk rollover")
+	}
+	if got := s.String(r2, 14); got != "after-boundary" {
+		t.Fatalf("second region = %q", got)
+	}
+	if len(s.chunks) != 2 {
+		t.Fatalf("chunks = %d, want 2", len(s.chunks))
+	}
+}
+
+func TestAllocOversize(t *testing.T) {
+	var s Slab
+	huge := make([]byte, chunkBytes*2+17)
+	huge[0], huge[len(huge)-1] = 0xAA, 0xBB
+	ref := s.Append(huge)
+	got := s.View(ref, len(huge))
+	if got[0] != 0xAA || got[len(got)-1] != 0xBB {
+		t.Fatal("oversize region corrupted")
+	}
+	if s.Allocated() < int64(len(huge)) {
+		t.Fatalf("Allocated = %d, want >= %d", s.Allocated(), len(huge))
+	}
+}
+
+func TestAllocZeroLength(t *testing.T) {
+	var s Slab
+	ref, dst := s.Alloc(0)
+	if len(dst) != 0 {
+		t.Fatalf("Alloc(0) returned %d bytes", len(dst))
+	}
+	if got := s.String(ref, 0); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestShapeInternReuses(t *testing.T) {
+	var st ShapeTable
+	f := [][]byte{[]byte("0123456789"), []byte("abcde")}
+	idx1, n1 := st.Intern(f)
+	idx2, n2 := st.Intern([][]byte{[]byte("XXXXXXXXXX"), []byte("YYYYY")})
+	if idx1 != idx2 || n1 != 15 || n2 != 15 {
+		t.Fatalf("same-layout intern: idx %d/%d len %d/%d", idx1, idx2, n1, n2)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("shapes = %d, want 1", st.Len())
+	}
+	idx3, _ := st.Intern([][]byte{[]byte("short")})
+	if idx3 == idx1 || st.Len() != 2 {
+		t.Fatalf("different layout shared a shape: idx %d, shapes %d", idx3, st.Len())
+	}
+	// Re-interning an older shape after the table moved on must find it.
+	idx4, _ := st.Intern(f)
+	if idx4 != idx1 || st.Len() != 2 {
+		t.Fatalf("re-intern = %d (shapes %d), want %d (2)", idx4, st.Len(), idx1)
+	}
+}
+
+func TestInternEndsMatchesIntern(t *testing.T) {
+	var st ShapeTable
+	idx, _ := st.Intern([][]byte{[]byte("ab"), []byte("cdef")})
+	got := st.InternEnds([]uint32{2, 6})
+	if got != idx {
+		t.Fatalf("InternEnds = %d, want %d", got, idx)
+	}
+	other := st.InternEnds([]uint32{3, 6})
+	if other == idx || st.Len() != 2 {
+		t.Fatalf("distinct ends interned as %d (shapes %d)", other, st.Len())
+	}
+}
+
+func TestFieldsViewSlabForm(t *testing.T) {
+	var s Slab
+	var st ShapeTable
+	fields := [][]byte{[]byte("aaa"), []byte(""), []byte("cccccc")}
+	shape, n := st.Intern(fields)
+	ref, dst := s.Alloc(n)
+	p := 0
+	for _, f := range fields {
+		p += copy(dst[p:], f)
+	}
+	v := SlabView(s.View(ref, n), st.Ends(shape))
+	if v.Len() != 3 || v.Bytes() != 9 {
+		t.Fatalf("Len=%d Bytes=%d, want 3/9", v.Len(), v.Bytes())
+	}
+	for i, f := range fields {
+		if !bytes.Equal(v.Field(i), f) {
+			t.Fatalf("Field(%d) = %q, want %q", i, v.Field(i), f)
+		}
+	}
+	mat := v.Materialize()
+	for i, f := range fields {
+		if !bytes.Equal(mat[i], f) {
+			t.Fatalf("Materialize[%d] = %q, want %q", i, mat[i], f)
+		}
+	}
+}
+
+func TestFieldsViewMaterializedForm(t *testing.T) {
+	fields := [][]byte{[]byte("xy"), []byte("z")}
+	v := View(fields)
+	if v.Len() != 2 || v.Bytes() != 3 {
+		t.Fatalf("Len=%d Bytes=%d, want 2/3", v.Len(), v.Bytes())
+	}
+	if string(v.Field(0)) != "xy" || string(v.Field(1)) != "z" {
+		t.Fatalf("fields = %q/%q", v.Field(0), v.Field(1))
+	}
+	if _, _, ok := v.Slab(); ok {
+		t.Fatal("materialized view claims slab backing")
+	}
+}
+
+func TestFieldsViewZero(t *testing.T) {
+	var v FieldsView
+	if v.Len() != 0 || v.Bytes() != 0 {
+		t.Fatalf("zero view: Len=%d Bytes=%d", v.Len(), v.Bytes())
+	}
+	if m := v.Materialize(); m != nil {
+		t.Fatalf("zero view materialized to %v", m)
+	}
+}
+
+// BenchmarkSlabAppend pins the carve path: steady-state Append is one
+// bounds check and a copy, with chunk allocations amortized to ~0.
+func BenchmarkSlabAppend(b *testing.B) {
+	payload := make([]byte, 75) // the paper's 5×15-byte record payload scale
+	var s Slab
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(payload)
+		if s.Allocated() > 64<<20 {
+			b.StopTimer()
+			s.Reset()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkShapeIntern pins the hot-path interner: a repeated layout is
+// a last-match check, no allocation.
+func BenchmarkShapeIntern(b *testing.B) {
+	fields := [][]byte{
+		[]byte("0123456780"), []byte("0123456781"), []byte("0123456782"),
+		[]byte("0123456783"), []byte("0123456784"),
+	}
+	var st ShapeTable
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Intern(fields)
+	}
+}

@@ -4,6 +4,14 @@
 // accounting, which is what makes the disk-usage experiment (paper Fig 17)
 // reproducible: the stores blow up 75-byte records by storing schema and
 // version information with every cell.
+//
+// A table's retained state is pointer-free: entries are fixed-size scalar
+// records ([]entryMeta — key prefix pair, slab ref, packed lengths) over
+// key+field payload bytes held in a slab.Slab, so a multi-million-entry
+// table is a few large buffers the garbage collector never has to walk.
+// The flush path (FromMemtable) adopts the frozen memtable's payload slab
+// without copying a byte; compactions copy surviving payloads into the
+// merged table's own slab, which is what reclaims dead versions.
 package sstable
 
 import (
@@ -11,15 +19,35 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/memtable"
+	"repro/internal/slab"
 )
+
+// entryMeta is one entry's location: the key's 16-byte prefix pair for
+// register compares, the payload ref (key bytes then field bytes,
+// contiguous), and keyLen(16) | fieldsLen(32) | shape(16) packed.
+type entryMeta struct {
+	keyPfx  uint64
+	keyPfx2 uint64
+	ref     slab.Ref
+	meta    uint64
+}
+
+func packMeta(keyLen, fieldsLen int, shape uint32) uint64 {
+	if shape > 0xffff {
+		panic("sstable: shape table overflow")
+	}
+	return uint64(keyLen) | uint64(fieldsLen)<<16 | uint64(shape)<<48
+}
 
 // Table is an immutable sorted run.
 type Table struct {
-	Gen     int // generation: higher = newer data wins during merges
-	entries []memtable.Entry
-	filter  *bloom.Filter
-	minKey  string
-	maxKey  string
+	Gen    int // generation: higher = newer data wins during merges
+	meta   []entryMeta
+	data   slab.Slab
+	shapes slab.ShapeTable
+	filter *bloom.Filter
+	minKey string
+	maxKey string
 	// DiskBytes is the modeled on-disk size: payload plus per-cell and
 	// per-entry format overhead.
 	DiskBytes int64
@@ -29,6 +57,142 @@ type Table struct {
 type Overhead struct {
 	PerEntry int64 // per row: row header, key length fields, index entry share
 	PerCell  int64 // per column: column name, timestamp, length, version info
+}
+
+// keyAt returns entry i's key as a zero-copy view into the slab.
+func (t *Table) keyAt(i int) string {
+	m := t.meta[i]
+	return t.data.String(m.ref, int(m.meta&0xffff))
+}
+
+// fieldsAt returns entry i's field view.
+func (t *Table) fieldsAt(i int) slab.FieldsView {
+	m := t.meta[i]
+	keyLen := m.meta & 0xffff
+	fieldsLen := int(m.meta >> 16 & 0xffffffff)
+	return slab.SlabView(
+		t.data.View(m.ref+slab.Ref(keyLen), fieldsLen),
+		t.shapes.Ends(uint32(m.meta>>48)),
+	)
+}
+
+func (t *Table) entryAt(i int) memtable.Entry {
+	return memtable.Entry{Key: t.keyAt(i), Fields: t.fieldsAt(i)}
+}
+
+// search returns the index of the first entry with key >= key, resolving
+// almost every probe with the prefix pair in registers.
+func (t *Table) search(key string) int {
+	pfx, pfx2 := slab.KeyPrefix(key, 0), slab.KeyPrefix(key, 8)
+	lo, hi := 0, len(t.meta)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := &t.meta[mid]
+		var ge bool
+		if m.keyPfx != pfx {
+			ge = m.keyPfx > pfx
+		} else if m.keyPfx2 != pfx2 {
+			ge = m.keyPfx2 > pfx2
+		} else {
+			ge = t.keyAt(mid) >= key
+		}
+		if ge {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// builder assembles a table by copying entries into its own slabs.
+type builder struct {
+	t       *Table
+	scratch []uint32
+}
+
+func newBuilder(gen, n int) *builder {
+	return &builder{t: &Table{Gen: gen, meta: make([]entryMeta, 0, n)}}
+}
+
+// add appends one entry (keys must arrive in ascending order, no
+// duplicates), copying key and field bytes into the table's slab.
+func (b *builder) add(key string, fields slab.FieldsView) {
+	t := b.t
+	var shape uint32
+	fieldsLen := int(fields.Bytes())
+	if data, ends, ok := fields.Slab(); ok {
+		shape = t.shapes.InternEnds(ends)
+		ref, buf := t.data.Alloc(len(key) + fieldsLen)
+		p := copy(buf, key)
+		copy(buf[p:], data)
+		t.meta = append(t.meta, entryMeta{
+			keyPfx:  slab.KeyPrefix(key, 0),
+			keyPfx2: slab.KeyPrefix(key, 8),
+			ref:     ref,
+			meta:    packMeta(len(key), fieldsLen, shape),
+		})
+		return
+	}
+	n := fields.Len()
+	b.scratch = b.scratch[:0]
+	acc := uint32(0)
+	for i := 0; i < n; i++ {
+		acc += uint32(len(fields.Field(i)))
+		b.scratch = append(b.scratch, acc)
+	}
+	shape = t.shapes.InternEnds(b.scratch)
+	ref, buf := t.data.Alloc(len(key) + fieldsLen)
+	p := copy(buf, key)
+	for i := 0; i < n; i++ {
+		p += copy(buf[p:], fields.Field(i))
+	}
+	t.meta = append(t.meta, entryMeta{
+		keyPfx:  slab.KeyPrefix(key, 0),
+		keyPfx2: slab.KeyPrefix(key, 8),
+		ref:     ref,
+		meta:    packMeta(len(key), fieldsLen, shape),
+	})
+}
+
+// finalize computes the Bloom filter, disk accounting and key range. The
+// filter is built from the sorted entry sequence, so any construction
+// path (flush handoff, test build, merge) yields an identical filter for
+// identical contents.
+func (t *Table) finalize(ov Overhead, fpp float64) {
+	t.filter = bloom.New(len(t.meta), fpp)
+	for i := range t.meta {
+		t.filter.Add(t.keyAt(i))
+		md := t.meta[i].meta
+		keyLen := int64(md & 0xffff)
+		fieldsLen := int64(md >> 16 & 0xffffffff)
+		cells := int64(len(t.shapes.Ends(uint32(md >> 48))))
+		t.DiskBytes += keyLen + ov.PerEntry + fieldsLen + cells*ov.PerCell
+	}
+	if len(t.meta) > 0 {
+		t.minKey = t.keyAt(0)
+		t.maxKey = t.keyAt(len(t.meta) - 1)
+	}
+}
+
+// FromMemtable flushes a frozen memtable into a table without copying
+// payload bytes: the skip list streams its entries in key order and
+// hands its payload slab and shape table over; only the fixed-size
+// entryMeta records are built fresh. The memtable must not be written
+// again (Freeze enforces this); outstanding readers of the frozen
+// memtable remain valid because the slabs are shared, not moved.
+func FromMemtable(gen int, m *memtable.Memtable, ov Overhead, fpp float64) *Table {
+	t := &Table{Gen: gen, meta: make([]entryMeta, 0, m.Len())}
+	t.data, t.shapes = m.Freeze(func(e memtable.FlushEntry) {
+		t.meta = append(t.meta, entryMeta{
+			keyPfx:  e.KeyPfx,
+			keyPfx2: e.KeyPfx2,
+			ref:     e.Ref,
+			meta:    packMeta(e.KeyLen, e.FieldsLen, e.Shape),
+		})
+	})
+	t.finalize(ov, fpp)
+	return t
 }
 
 // Build creates a table from entries (they will be sorted; later duplicates
@@ -43,75 +207,61 @@ func Build(gen int, entries []memtable.Entry, ov Overhead, fpp float64) *Table {
 }
 
 // BuildSorted creates a table from entries already in ascending key order
-// (duplicate keys adjacent, later occurrence wins), as produced by
-// memtable.All: the flush pipeline skips Build's copy+sort and pays only a
-// dedup scan. BuildSorted takes ownership of entries; the caller must not
-// reuse the slice.
+// (duplicate keys adjacent, later occurrence wins). Key and field bytes
+// are copied into the table's own slab.
 func BuildSorted(gen int, entries []memtable.Entry, ov Overhead, fpp float64) *Table {
-	// In-place dedup keeping the last of each key run. The common flush
-	// input (a memtable snapshot) has no duplicates, so this is a single
-	// pass of self-assignments.
-	w := 0
+	b := newBuilder(gen, len(entries))
 	for i := 0; i < len(entries); i++ {
 		if i+1 < len(entries) && entries[i+1].Key == entries[i].Key {
 			continue
 		}
-		entries[w] = entries[i]
-		w++
+		b.add(entries[i].Key, entries[i].Fields)
 	}
-	return buildFromSorted(gen, entries[:w], ov, fpp)
-}
-
-// buildFromSorted creates a table from entries already sorted by key with no
-// duplicates, skipping the sort+dedup pass that Build pays.
-func buildFromSorted(gen int, entries []memtable.Entry, ov Overhead, fpp float64) *Table {
-	t := &Table{Gen: gen, entries: entries, filter: bloom.New(len(entries), fpp)}
-	for _, e := range entries {
-		t.filter.Add(e.Key)
-		t.DiskBytes += int64(len(e.Key)) + ov.PerEntry
-		for _, f := range e.Fields {
-			t.DiskBytes += int64(len(f)) + ov.PerCell
-		}
-	}
-	if len(entries) > 0 {
-		t.minKey = entries[0].Key
-		t.maxKey = entries[len(entries)-1].Key
-	}
-	return t
+	b.t.finalize(ov, fpp)
+	return b.t
 }
 
 // Len returns the number of entries.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return len(t.meta) }
 
 // KeyRange returns the smallest and largest keys.
 func (t *Table) KeyRange() (string, string) { return t.minKey, t.maxKey }
 
+// SlabBytes returns the heap footprint of the table's payload slab
+// (apmbench -memstats). Shared flush-handoff chunks are attributed to
+// the table, which outlives the memtable they came from.
+func (t *Table) SlabBytes() int64 {
+	return t.data.Allocated() + int64(len(t.meta))*32
+}
+
 // MayContain consults the Bloom filter and key range.
 func (t *Table) MayContain(key string) bool {
-	if len(t.entries) == 0 || key < t.minKey || key > t.maxKey {
+	if len(t.meta) == 0 || key < t.minKey || key > t.maxKey {
 		return false
 	}
 	return t.filter.MayContain(key)
 }
 
-// Get returns the fields for key.
-func (t *Table) Get(key string) ([][]byte, bool) {
-	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Key >= key })
-	if i < len(t.entries) && t.entries[i].Key == key {
-		return t.entries[i].Fields, true
+// Get returns a view of the fields for key.
+func (t *Table) Get(key string) (slab.FieldsView, bool) {
+	i := t.search(key)
+	if i < len(t.meta) && t.keyAt(i) == key {
+		return t.fieldsAt(i), true
 	}
-	return nil, false
+	return slab.FieldsView{}, false
 }
 
 // Scan returns up to count entries with keys >= start.
 func (t *Table) Scan(start string, count int) []memtable.Entry {
-	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Key >= start })
+	i := t.search(start)
 	end := i + count
-	if end > len(t.entries) {
-		end = len(t.entries)
+	if end > len(t.meta) {
+		end = len(t.meta)
 	}
 	out := make([]memtable.Entry, end-i)
-	copy(out, t.entries[i:end])
+	for j := range out {
+		out[j] = t.entryAt(i + j)
+	}
 	return out
 }
 
@@ -121,23 +271,22 @@ func (t *Table) FilterBytes() int64 { return t.filter.SizeBytes() }
 // Iterator is a forward cursor over a table's entries. Tables are immutable,
 // so iterators stay valid for the table's lifetime.
 type Iterator struct {
-	entries []memtable.Entry
-	i       int
+	t *Table
+	i int
 }
 
 // SeekIter returns an iterator positioned at the first entry with key >=
 // start.
 func (t *Table) SeekIter(start string) Iterator {
-	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Key >= start })
-	return Iterator{entries: t.entries, i: i}
+	return Iterator{t: t, i: t.search(start)}
 }
 
 // Valid reports whether the iterator points at an entry.
-func (it Iterator) Valid() bool { return it.i < len(it.entries) }
+func (it Iterator) Valid() bool { return it.i < len(it.t.meta) }
 
 // Entry returns the current entry. It must not be called on an invalid
 // iterator.
-func (it Iterator) Entry() memtable.Entry { return it.entries[it.i] }
+func (it Iterator) Entry() memtable.Entry { return it.t.entryAt(it.i) }
 
 // Next advances to the following entry.
 func (it *Iterator) Next() { it.i++ }
@@ -146,7 +295,9 @@ func (it *Iterator) Next() { it.i++ }
 // table with the highest generation wins. The result's generation is the
 // maximum input generation. Inputs are already sorted, so this is a
 // streaming k-way merge: O(n·k) comparisons with one pass and no
-// intermediate map or re-sort.
+// intermediate map or re-sort. Surviving payloads are copied into the
+// merged table's slab, so dead versions' bytes are reclaimed when the
+// inputs are dropped.
 func Merge(tables []*Table, ov Overhead, fpp float64) *Table {
 	total := 0
 	maxGen := 0
@@ -158,7 +309,7 @@ func Merge(tables []*Table, ov Overhead, fpp float64) *Table {
 		}
 		iters[i] = t.SeekIter("")
 	}
-	entries := make([]memtable.Entry, 0, total)
+	b := newBuilder(maxGen, total)
 	for {
 		// Pick the smallest current key; among duplicates the entry from
 		// the highest-generation table wins and the others are skipped.
@@ -182,7 +333,7 @@ func Merge(tables []*Table, ov Overhead, fpp float64) *Table {
 			break
 		}
 		e := iters[best].Entry()
-		entries = append(entries, e)
+		b.add(e.Key, e.Fields)
 		// Consume this key from every source.
 		for i := range iters {
 			for iters[i].Valid() && iters[i].Entry().Key == e.Key {
@@ -190,5 +341,6 @@ func Merge(tables []*Table, ov Overhead, fpp float64) *Table {
 			}
 		}
 	}
-	return buildFromSorted(maxGen, entries, ov, fpp)
+	b.t.finalize(ov, fpp)
+	return b.t
 }

@@ -6,12 +6,13 @@ import (
 	"testing/quick"
 
 	"repro/internal/memtable"
+	"repro/internal/slab"
 )
 
 var ov = Overhead{PerEntry: 10, PerCell: 20}
 
 func entry(k, v string) memtable.Entry {
-	return memtable.Entry{Key: k, Fields: [][]byte{[]byte(v)}}
+	return memtable.Entry{Key: k, Fields: slab.View([][]byte{[]byte(v)})}
 }
 
 func TestBuildSortsAndGets(t *testing.T) {
@@ -39,8 +40,8 @@ func TestBuildDeduplicatesKeepingLast(t *testing.T) {
 		t.Fatalf("Len = %d, want 1", tb.Len())
 	}
 	v, _ := tb.Get("k")
-	if string(v[0]) != "new" {
-		t.Fatalf("value = %s, want new (last write wins)", v[0])
+	if string(v.Field(0)) != "new" {
+		t.Fatalf("value = %s, want new (last write wins)", v.Field(0))
 	}
 }
 
@@ -59,7 +60,7 @@ func TestMayContainRespectsRange(t *testing.T) {
 
 func TestDiskBytesIncludesOverhead(t *testing.T) {
 	// one entry: key "kk" (2) + perEntry 10 + 2 cells of 5 bytes + 2*20.
-	e := memtable.Entry{Key: "kk", Fields: [][]byte{[]byte("12345"), []byte("67890")}}
+	e := memtable.Entry{Key: "kk", Fields: slab.View([][]byte{[]byte("12345"), []byte("67890")})}
 	tb := Build(1, []memtable.Entry{e}, ov, 0.01)
 	want := int64(2 + 10 + 5 + 20 + 5 + 20)
 	if tb.DiskBytes != want {
@@ -91,8 +92,8 @@ func TestMergeNewestGenerationWins(t *testing.T) {
 		t.Fatalf("merged Len = %d, want 3", m.Len())
 	}
 	v, _ := m.Get("k")
-	if string(v[0]) != "new" {
-		t.Fatalf("merged value = %s, want new", v[0])
+	if string(v.Field(0)) != "new" {
+		t.Fatalf("merged value = %s, want new", v.Field(0))
 	}
 	if m.Gen != 2 {
 		t.Fatalf("merged gen = %d, want 2", m.Gen)
@@ -144,7 +145,7 @@ func TestPropertyMergeUnion(t *testing.T) {
 		}
 		for k, v := range want {
 			got, ok := m.Get(k)
-			if !ok || string(got[0]) != v {
+			if !ok || string(got.Field(0)) != v {
 				return false
 			}
 		}
@@ -212,12 +213,12 @@ func TestBuildSortedMatchesBuild(t *testing.T) {
 	for _, k := range []string{"a", "b", "c", "d"} {
 		fv, fok := fast.Get(k)
 		sv, sok := slow.Get(k)
-		if !fok || !sok || string(fv[0]) != string(sv[0]) {
-			t.Fatalf("Get(%q): fast=%q,%v slow=%q,%v", k, fv, fok, sv, sok)
+		if !fok || !sok || string(fv.Field(0)) != string(sv.Field(0)) {
+			t.Fatalf("Get(%q): fast=%q,%v slow=%q,%v", k, fv.Field(0), fok, sv.Field(0), sok)
 		}
 	}
-	if v, _ := fast.Get("b"); string(v[0]) != "new" {
-		t.Fatalf("duplicate key kept %q, want last write", v[0])
+	if v, _ := fast.Get("b"); string(v.Field(0)) != "new" {
+		t.Fatalf("duplicate key kept %q, want last write", v.Field(0))
 	}
 }
 
@@ -232,5 +233,53 @@ func TestBuildSortedNoDuplicatesIsIdentity(t *testing.T) {
 		if got[i].Key != k {
 			t.Fatalf("entry %d = %q, want %q", i, got[i].Key, k)
 		}
+	}
+}
+
+// TestFromMemtableMatchesBuildSorted pins the zero-copy flush handoff:
+// adopting a frozen memtable's slab must yield a table identical in
+// every modeled dimension (count, DiskBytes, key range, filter size,
+// contents) to copying the same entries through BuildSorted.
+func TestFromMemtableMatchesBuildSorted(t *testing.T) {
+	mkMem := func() *memtable.Memtable {
+		m := memtable.New(9)
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("user%09d", i*37%500)
+			m.Put(k, [][]byte{[]byte(fmt.Sprintf("f0-%05d", i)), []byte("f1")})
+		}
+		// Same-shape and reshaping replaces leave dead slab regions the
+		// handoff must not account for.
+		m.Put("user000000037", [][]byte{[]byte("f0-XXXXX"), []byte("f1")})
+		m.Put("user000000074", [][]byte{[]byte("reshaped")})
+		return m
+	}
+	ref := BuildSorted(3, mkMem().All(), ov, 0.01)
+	got := FromMemtable(3, mkMem(), ov, 0.01)
+	if got.Len() != ref.Len() || got.DiskBytes != ref.DiskBytes {
+		t.Fatalf("Len/DiskBytes = %d/%d, want %d/%d", got.Len(), got.DiskBytes, ref.Len(), ref.DiskBytes)
+	}
+	gmin, gmax := got.KeyRange()
+	rmin, rmax := ref.KeyRange()
+	if gmin != rmin || gmax != rmax {
+		t.Fatalf("range = [%s,%s], want [%s,%s]", gmin, gmax, rmin, rmax)
+	}
+	if got.FilterBytes() != ref.FilterBytes() {
+		t.Fatalf("filter bytes = %d, want %d", got.FilterBytes(), ref.FilterBytes())
+	}
+	ri := ref.SeekIter("")
+	for gi := got.SeekIter(""); gi.Valid(); gi.Next() {
+		ge, re := gi.Entry(), ri.Entry()
+		if ge.Key != re.Key || ge.Fields.Len() != re.Fields.Len() {
+			t.Fatalf("entry %q vs %q", ge.Key, re.Key)
+		}
+		for i := 0; i < ge.Fields.Len(); i++ {
+			if string(ge.Fields.Field(i)) != string(re.Fields.Field(i)) {
+				t.Fatalf("key %q field %d = %q, want %q", ge.Key, i, ge.Fields.Field(i), re.Fields.Field(i))
+			}
+		}
+		ri.Next()
+	}
+	if ri.Valid() {
+		t.Fatal("reference has more entries than the handoff table")
 	}
 }

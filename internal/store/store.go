@@ -7,6 +7,7 @@ import (
 	"errors"
 
 	"repro/internal/sim"
+	"repro/internal/slab"
 )
 
 // NumFields is the number of value fields per record.
@@ -22,13 +23,25 @@ const KeyBytes = 25
 // paper's "700 MB of raw data per node" for 10M records).
 const RawRecordBytes = NumFields*FieldBytes + KeyBytes
 
-// Fields is a record's value fields.
+// Fields is a record's value fields, in the materialized form write
+// paths build (Insert/Update/Load take Fields).
 type Fields [][]byte
 
-// Record is a key with its fields.
+// FieldsView is the read-side counterpart: an allocation-free, read-only
+// view of a record's field values, usually backed by a store-owned slab
+// region (see package slab). Read and Scan return views so a point read
+// over slab-backed engines touches no per-record heap objects; call
+// Materialize (or View per field) only when bytes must outlive the
+// operation.
+type FieldsView = slab.FieldsView
+
+// ViewFields wraps materialized fields as a view without copying.
+func ViewFields(f Fields) FieldsView { return slab.View(f) }
+
+// Record is a key with a view of its fields.
 type Record struct {
 	Key    string
-	Fields Fields
+	Fields FieldsView
 }
 
 // Key formats record number i as the fixed-width 25-byte benchmark key.
@@ -162,9 +175,9 @@ var ErrOverloaded = errors.New("store: node overloaded")
 var ErrUnavailable = errors.New("store: node unavailable")
 
 // IngestCopier is implemented by stores whose Insert/Update/Load paths
-// copy field bytes before retaining them (the memtable-backed engines:
-// their arena owns the payload). The B-tree models retain the caller's
-// slices and must not implement it (or must return false).
+// copy field bytes before retaining them (slab-backed engines: their
+// arenas own the payload). A store that retains the caller's slices must
+// not implement it (or must return false).
 type IngestCopier interface {
 	CopiesOnIngest() bool
 }
@@ -177,6 +190,24 @@ func CopiesOnIngest(s Store) bool {
 	return ok && c.CopiesOnIngest()
 }
 
+// SlabReporter is implemented by stores that can report how many bytes of
+// slab-backed record state (keys, field payloads, index arenas) they
+// retain. The harness's -memstats diagnostics use it to attribute
+// host-side memory to the simulated store under test.
+type SlabReporter interface {
+	SlabBytes() int64
+}
+
+// SlabBytesOf reports s's retained slab bytes, or (0, false) if the store
+// does not expose them.
+func SlabBytesOf(s Store) (int64, bool) {
+	r, ok := s.(SlabReporter)
+	if !ok {
+		return 0, false
+	}
+	return r.SlabBytes(), true
+}
+
 // Store is a simulated data store deployed across a cluster. All timed
 // methods run inside a simulation process and advance virtual time by the
 // full client-observed operation latency.
@@ -187,8 +218,10 @@ type Store interface {
 	Insert(p *sim.Proc, key string, f Fields) error
 	// Update overwrites an existing record.
 	Update(p *sim.Proc, key string, f Fields) error
-	// Read fetches all fields of one record.
-	Read(p *sim.Proc, key string) (Fields, error)
+	// Read fetches all fields of one record. The returned view aliases
+	// store-owned memory and is valid until the next operation against
+	// the store.
+	Read(p *sim.Proc, key string) (FieldsView, error)
 	// Scan returns up to count records with keys >= start.
 	Scan(p *sim.Proc, start string, count int) ([]Record, error)
 	// SupportsScan reports whether Scan is implemented.

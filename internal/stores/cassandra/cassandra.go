@@ -55,6 +55,10 @@ type Options struct {
 	Overhead sstable.Overhead
 	// MemtableFlushBytes triggers memtable flushes.
 	MemtableFlushBytes int64
+	// CompactMin is the size-tiered compaction threshold: sstables per
+	// tier before a compaction merges them (Cassandra's
+	// min_compaction_threshold; 0 = the default 4).
+	CompactMin int
 	// CacheBytes per node for the SSTable page cache; <0 means "derive
 	// from node RAM" (all of it beyond heap on Cluster M; scarce on D).
 	CacheBytes int64
@@ -185,6 +189,7 @@ func New(c *cluster.Cluster, opts Options) *Store {
 				WALWindow:  opts.CommitLogWindow,
 				WALSync:    !opts.CommitLogPeriodic, // batch mode: writers wait for the group commit
 				CacheBytes: cache,
+				CompactMin: opts.CompactMin,
 			}),
 		})
 	}
@@ -200,6 +205,16 @@ func (s *Store) Name() string { return "cassandra" }
 // an arena-backed memtable that copies field bytes (async replicas clone
 // before scheduling), so callers may reuse a fields buffer across writes.
 func (s *Store) CopiesOnIngest() bool { return true }
+
+// SlabBytes implements store.SlabReporter: the retained footprint of every
+// node's LSM tree (memtable arenas plus sstable slabs).
+func (s *Store) SlabBytes() int64 {
+	var total int64
+	for _, n := range s.nodes {
+		total += n.tree.SlabBytes()
+	}
+	return total
+}
 
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return true }
@@ -252,13 +267,13 @@ func (s *Store) replicas(key string) []*node {
 }
 
 // Read implements store.Store.
-func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
+func (s *Store) Read(p *sim.Proc, key string) (store.FieldsView, error) {
 	coord := s.coordinator(p)
 	own := s.readTarget(key)
 	if coord == nil || own == nil {
-		return nil, store.ErrUnavailable
+		return store.FieldsView{}, store.ErrUnavailable
 	}
-	var out store.Fields
+	var out store.FieldsView
 	var ok bool
 	serve := func() {
 		own.readStage.Acquire(p)
@@ -280,7 +295,7 @@ func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 		base.Forward(p, coord.machine, own.machine, base.ReqHeader, base.RecordWire, serve)
 	})
 	if !ok {
-		return nil, store.ErrNotFound
+		return store.FieldsView{}, store.ErrNotFound
 	}
 	return out, nil
 }

@@ -155,8 +155,8 @@ func TestUpdateVisibleAfterFlushCycles(t *testing.T) {
 			return
 		}
 		want := store.MakeFields(2)
-		if string(got[0]) != string(want[0]) {
-			t.Errorf("got %q want %q", got[0], want[0])
+		if string(got.Field(0)) != string(want[0]) {
+			t.Errorf("got %q want %q", got.Field(0), want[0])
 		}
 	})
 	e.Run(0)

@@ -50,6 +50,10 @@ type Options struct {
 	Overhead           sstable.Overhead
 	MemstoreFlushBytes int64
 	CacheBytes         int64 // block cache + OS cache per node (0 = RAM/2)
+	// CompactMin is the compaction threshold: HFiles per tier before a
+	// minor compaction merges them (hbase.hstore.compactionThreshold;
+	// 0 = the default 4).
+	CompactMin int
 	// AutoFlush disables the client write buffer (ablation: every put pays
 	// a full RPC, as with autoFlush=true).
 	AutoFlush bool
@@ -170,6 +174,7 @@ func New(c *cluster.Cluster, opts Options) *Store {
 				WALWindow:  10 * sim.Millisecond,
 				WALSync:    false, // deferred log flush
 				CacheBytes: cache,
+				CompactMin: opts.CompactMin,
 				IO:         hbaseIO{fs: s.fs, file: file, node: i, machine: m},
 			}),
 		})
@@ -186,6 +191,16 @@ func (s *Store) Name() string { return "hbase" }
 // copies field bytes, so callers may reuse a fields buffer across writes.
 func (s *Store) CopiesOnIngest() bool { return true }
 
+// SlabBytes implements store.SlabReporter: the retained footprint of every
+// region's LSM tree (memstore arenas plus HFile slabs).
+func (s *Store) SlabBytes() int64 {
+	var total int64
+	for _, r := range s.regions {
+		total += r.tree.SlabBytes()
+	}
+	return total
+}
+
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return true }
 
@@ -199,13 +214,13 @@ func (s *Store) regionFor(key string) *region {
 }
 
 // Read implements store.Store.
-func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
+func (s *Store) Read(p *sim.Proc, key string) (store.FieldsView, error) {
 	ri := s.regionIndex(key)
 	if s.down[ri] {
-		return nil, store.ErrUnavailable
+		return store.FieldsView{}, store.ErrUnavailable
 	}
 	r := s.regions[ri]
-	var out store.Fields
+	var out store.FieldsView
 	var ok bool
 	base.Roundtrip(p, r.machine, base.ReqHeader, base.RecordWire, func() {
 		r.handlers.Acquire(p)
@@ -214,7 +229,7 @@ func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 		r.handlers.Release()
 	})
 	if !ok {
-		return nil, store.ErrNotFound
+		return store.FieldsView{}, store.ErrNotFound
 	}
 	return out, nil
 }

@@ -187,6 +187,21 @@ func Default(c *cluster.Cluster) *Store {
 // Name implements store.Store.
 func (s *Store) Name() string { return "mysql" }
 
+// CopiesOnIngest implements store.IngestCopier: every write path lands in
+// the slab-backed B-tree, which copies key and field bytes into its own
+// arenas, so callers may reuse a fields buffer across writes.
+func (s *Store) CopiesOnIngest() bool { return true }
+
+// SlabBytes implements store.SlabReporter: the retained footprint of every
+// shard's B-tree slabs.
+func (s *Store) SlabBytes() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		total += sh.db.SlabBytes()
+	}
+	return total
+}
+
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return true }
 
@@ -204,13 +219,13 @@ func chargeIO(p *sim.Proc, n *cluster.Node, io btree.IOStats, pageSize int64) {
 }
 
 // Read implements store.Store.
-func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
+func (s *Store) Read(p *sim.Proc, key string) (store.FieldsView, error) {
 	si := s.shardIndex(key)
 	if s.down[si] {
-		return nil, store.ErrUnavailable
+		return store.FieldsView{}, store.ErrUnavailable
 	}
 	sh := s.shards[si]
-	var out store.Fields
+	var out store.FieldsView
 	var ok bool
 	base.Roundtrip(p, sh.node, base.ReqHeader, base.RecordWire, func() {
 		sh.node.Compute(p, s.opts.ReadCPU+s.opts.connOverhead())
@@ -219,7 +234,7 @@ func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 		chargeIO(p, sh.node, io, 16<<10)
 	})
 	if !ok {
-		return nil, store.ErrNotFound
+		return store.FieldsView{}, store.ErrNotFound
 	}
 	return out, nil
 }

@@ -119,6 +119,16 @@ func (s *Store) Name() string { return "redis" }
 // callers may reuse a fields buffer across writes.
 func (s *Store) CopiesOnIngest() bool { return true }
 
+// SlabBytes implements store.SlabReporter: the retained footprint of every
+// instance's memtable arenas.
+func (s *Store) SlabBytes() int64 {
+	var total int64
+	for _, in := range s.insts {
+		total += in.data.SlabBytes()
+	}
+	return total
+}
+
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return true }
 
@@ -198,13 +208,13 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 }
 
 // Read implements store.Store.
-func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
+func (s *Store) Read(p *sim.Proc, key string) (store.FieldsView, error) {
 	si := s.instIndex(key)
 	if s.down[si] {
-		return nil, store.ErrUnavailable
+		return store.FieldsView{}, store.ErrUnavailable
 	}
 	in := s.insts[si]
-	var out store.Fields
+	var out store.FieldsView
 	var ok bool
 	base.Roundtrip(p, in.node, base.ReqHeader, base.RecordWire, func() {
 		in.loop.Acquire(p)
@@ -214,7 +224,7 @@ func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 		in.loop.Release()
 	})
 	if !ok {
-		return nil, store.ErrNotFound
+		return store.FieldsView{}, store.ErrNotFound
 	}
 	return out, nil
 }

@@ -68,8 +68,8 @@ func TestContractInsertThenRead(t *testing.T) {
 						return
 					}
 					want := store.MakeFields(i)
-					if len(got) != len(want) || string(got[0]) != string(want[0]) {
-						t.Errorf("read %d: got %q want %q", i, got[0], want[0])
+					if got.Len() != len(want) || string(got.Field(0)) != string(want[0]) {
+						t.Errorf("read %d: got %q want %q", i, got.Field(0), want[0])
 					}
 				}
 			})
@@ -173,8 +173,8 @@ func TestContractUpdateOverwrites(t *testing.T) {
 					t.Errorf("read: %v", err)
 					return
 				}
-				if string(got[0]) != string(newFields[0]) {
-					t.Errorf("after update got %q, want %q", got[0], newFields[0])
+				if string(got.Field(0)) != string(newFields[0]) {
+					t.Errorf("after update got %q, want %q", got.Field(0), newFields[0])
 				}
 			})
 			e.Run(0)

@@ -134,6 +134,21 @@ func New(c *cluster.Cluster, opts Options) *Store {
 // Name implements store.Store.
 func (s *Store) Name() string { return "voldemort" }
 
+// CopiesOnIngest implements store.IngestCopier: the embedded B-tree copies
+// key and field bytes into its own slabs, so callers may reuse a fields
+// buffer across writes.
+func (s *Store) CopiesOnIngest() bool { return true }
+
+// SlabBytes implements store.SlabReporter: the retained footprint of every
+// server's B-tree slabs.
+func (s *Store) SlabBytes() int64 {
+	var total int64
+	for _, sv := range s.nodes {
+		total += sv.db.SlabBytes()
+	}
+	return total
+}
+
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return false }
 
@@ -156,14 +171,14 @@ func chargeIO(p *sim.Proc, n *cluster.Node, io btree.IOStats) {
 }
 
 // Read implements store.Store.
-func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
+func (s *Store) Read(p *sim.Proc, key string) (store.FieldsView, error) {
 	si := s.serverIndex(key)
 	if s.down[si] {
-		return nil, store.ErrUnavailable
+		return store.FieldsView{}, store.ErrUnavailable
 	}
 	sv := s.nodes[si]
 	sv.pool.Acquire(p)
-	var out store.Fields
+	var out store.FieldsView
 	var ok bool
 	base.Roundtrip(p, sv.node, base.ReqHeader, base.RecordWire, func() {
 		sv.node.Compute(p, s.opts.ReadCPU)
@@ -173,7 +188,7 @@ func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
 	})
 	sv.pool.Release()
 	if !ok {
-		return nil, store.ErrNotFound
+		return store.FieldsView{}, store.ErrNotFound
 	}
 	return out, nil
 }

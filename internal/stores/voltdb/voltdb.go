@@ -114,6 +114,18 @@ func (s *Store) Name() string { return "voltdb" }
 // may reuse a fields buffer across writes.
 func (s *Store) CopiesOnIngest() bool { return true }
 
+// SlabBytes implements store.SlabReporter: the retained footprint of every
+// site's memtable arenas.
+func (s *Store) SlabBytes() int64 {
+	var total int64
+	for _, h := range s.hosts {
+		for _, st := range h.sites {
+			total += st.data.SlabBytes()
+		}
+	}
+	return total
+}
+
 // SupportsScan implements store.Store.
 func (s *Store) SupportsScan() bool { return true }
 
@@ -179,17 +191,17 @@ func (s *Store) singlePartition(p *sim.Proc, key string, reqBytes, respBytes int
 }
 
 // Read implements store.Store.
-func (s *Store) Read(p *sim.Proc, key string) (store.Fields, error) {
-	var out store.Fields
+func (s *Store) Read(p *sim.Proc, key string) (store.FieldsView, error) {
+	var out store.FieldsView
 	var ok bool
 	err := s.singlePartition(p, key, base.ReqHeader, base.RecordWire, func(h *host, st *site) {
 		out, ok = st.data.Get(key)
 	})
 	if err != nil {
-		return nil, err
+		return store.FieldsView{}, err
 	}
 	if !ok {
-		return nil, store.ErrNotFound
+		return store.FieldsView{}, store.ErrNotFound
 	}
 	return out, nil
 }

@@ -19,8 +19,8 @@ func (downStore) Insert(p *sim.Proc, key string, f store.Fields) error {
 func (downStore) Update(p *sim.Proc, key string, f store.Fields) error {
 	return store.ErrUnavailable
 }
-func (downStore) Read(p *sim.Proc, key string) (store.Fields, error) {
-	return nil, store.ErrUnavailable
+func (downStore) Read(p *sim.Proc, key string) (store.FieldsView, error) {
+	return store.FieldsView{}, store.ErrUnavailable
 }
 func (downStore) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
 	return nil, store.ErrUnavailable

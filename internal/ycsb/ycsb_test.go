@@ -30,13 +30,13 @@ func (f *fakeStore) Insert(p *sim.Proc, key string, fl store.Fields) error {
 func (f *fakeStore) Update(p *sim.Proc, key string, fl store.Fields) error {
 	return f.Insert(p, key, fl)
 }
-func (f *fakeStore) Read(p *sim.Proc, key string) (store.Fields, error) {
+func (f *fakeStore) Read(p *sim.Proc, key string) (store.FieldsView, error) {
 	p.Sleep(f.readLat)
 	f.reads++
 	if v, ok := f.data[key]; ok {
-		return v, nil
+		return store.ViewFields(v), nil
 	}
-	return nil, store.ErrNotFound
+	return store.FieldsView{}, store.ErrNotFound
 }
 func (f *fakeStore) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
 	p.Sleep(f.scanLat)
