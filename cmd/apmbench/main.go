@@ -14,6 +14,10 @@
 //	apmbench -figure 3 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	                                # host-side profiling (see README
 //	                                # "Profiling": the scale=1 recipe)
+//	apmbench -serve :9090 ...       # coordinate: lease cells to workers
+//	apmbench -join host:9090        # work: execute leased cells
+//	apmbench -cache dir ...         # persistent result cache
+//	apmbench -version               # print the model hash and exit
 //
 // A scenario file declares a grid — systems × workloads (Table 1 presets
 // or custom mixes, any record size) × node counts × deployment variants —
@@ -38,6 +42,8 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro"
+	"repro/internal/farm"
 	"repro/internal/harness"
 	"repro/internal/sim"
 )
@@ -61,14 +67,29 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 		memstats   = flag.Bool("memstats", false, "report retained host memory (heap in use + store slab bytes) to stderr after each cell's load phase")
+		serve      = flag.String("serve", "", "coordinate a cell farm: listen on this address (e.g. :9090) and lease cells to joined workers instead of executing locally")
+		join       = flag.String("join", "", "join a cell farm as a worker: connect to this coordinator address, execute leased cells, exit when drained")
+		cacheDir   = flag.String("cache", "", "persistent result cache directory: serve hits instead of executing, keyed by config + cell + model version")
+		version    = flag.Bool("version", false, "print the model version (content hash of the model sources) and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(repro.ModelVersion())
+		return
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *join != "" {
+		runWorker(*join, *parallel, *cacheDir)
+		return
+	}
 
 	if *quick {
 		// The CI determinism gate and the verify recipe share this preset;
 		// flags the user set explicitly keep their values.
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		if !set["scale"] {
 			*scale = 0.001
 		}
@@ -125,6 +146,37 @@ func main() {
 	r.Workers = *parallel
 	if !*quiet {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	if *cacheDir != "" {
+		fc, err := farm.NewFileCache(*cacheDir, repro.ModelVersion())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+			os.Exit(2)
+		}
+		r.Cache = fc
+		// The warm-cache CI gate greps this line: a second identical run
+		// must show executed=0. Printed only when -cache is given, so
+		// cacheless runs keep byte-identical stderr.
+		defer func() {
+			fmt.Fprintf(os.Stderr, "cache: hits=%d executed=%d\n", r.CacheHits(), r.Executed())
+		}()
+	}
+	if *serve != "" {
+		co := farm.NewCoordinator(cfg, repro.ModelVersion())
+		if _, err := co.Listen(*serve); err != nil {
+			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+			os.Exit(2)
+		}
+		r.Executor = co
+		// Dispatch width: RunAll's pool drives how many cells are leased
+		// out at once, and the coordinator itself does no cell work, so an
+		// unset -parallel widens to cover several multi-slot workers
+		// rather than this host's core count.
+		if !set["parallel"] {
+			r.Workers = 64
+		}
+		// Drain on the way out so workers exit cleanly.
+		defer co.Close()
 	}
 	if *memstats {
 		// Diagnostics only: heap numbers vary with GC timing and
@@ -189,18 +241,49 @@ func main() {
 		for _, id := range strings.Split(*figure, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
-		if len(ids) > 1 {
-			// Batch-execute the requested figures' combined cell set so
-			// shared cells run once and the pool stays full. Errors are
-			// deliberately dropped: runFigure below re-resolves each
-			// figure and reports unknown ids and cell failures with
-			// their usual messages.
-			_ = r.Prewarm(ids...)
-		}
+		// Batch-execute the requested figures' combined cell set so shared
+		// cells run once and the pool stays full — even for one figure,
+		// whose generator would otherwise run cells with less parallelism
+		// than the pool (and, under -serve, starve the farm's workers).
+		// Errors are deliberately dropped: runFigure below re-resolves
+		// each figure and reports unknown ids and cell failures with
+		// their usual messages.
+		_ = r.Prewarm(ids...)
 		for _, id := range ids {
 			runFigure(r, id)
 			fmt.Println()
 		}
+	}
+}
+
+// runWorker joins a cell farm and executes leased cells until the
+// coordinator drains the farm. The experiment config comes from the
+// coordinator's handshake; local fidelity flags are ignored.
+func runWorker(addr string, parallel int, cacheDir string) {
+	capacity := parallel
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	var cache harness.ResultCache
+	if cacheDir != "" {
+		fc, err := farm.NewFileCache(cacheDir, repro.ModelVersion())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+			os.Exit(2)
+		}
+		cache = fc
+	}
+	err := farm.Join(addr, farm.WorkerOptions{
+		Version:  repro.ModelVersion(),
+		Capacity: capacity,
+		Cache:    cache,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,71 @@
+// Package repro is the root of the paper reproduction. Besides hosting the
+// figure benchmarks, it computes the binary's model identity: a content
+// hash over every model source file under internal/, embedded at build
+// time. Two binaries with the same ModelVersion produce bit-identical
+// results for the same cell, which is what lets the cell farm trust a
+// worker's answer and the persistent result cache trust a previous run's —
+// and what makes a model-touching PR invalidate both automatically.
+package repro
+
+import (
+	"crypto/sha256"
+	"embed"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// modelFS embeds the full model source tree. The hash deliberately covers
+// everything under internal/ — simulator, stores, harness, farm — because
+// any of it can shape a cell's numbers (the harness alone decides seeds,
+// keys and client counts). Test files are skipped at hash time: they cannot
+// change results, and invalidating a fleet's cache over a test edit would
+// be pure waste.
+//
+//go:embed internal
+var modelFS embed.FS
+
+var (
+	versionOnce sync.Once
+	versionHex  string
+)
+
+// ModelVersion returns the binary's model identity: the hex SHA-256 over
+// every non-test .go file under internal/, each prefixed by its
+// slash-separated path, in sorted path order. It is surfaced as
+// `apmbench -version`, keys the persistent result cache, and gates the
+// farm's hello handshake (a worker whose version differs is rejected, not
+// silently wrong).
+func ModelVersion() string {
+	versionOnce.Do(func() {
+		var paths []string
+		err := fs.WalkDir(modelFS, "internal", func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			paths = append(paths, path)
+			return nil
+		})
+		if err != nil {
+			panic(fmt.Sprintf("repro: walking embedded model sources: %v", err))
+		}
+		sort.Strings(paths)
+		h := sha256.New()
+		for _, p := range paths {
+			data, err := modelFS.ReadFile(p)
+			if err != nil {
+				panic(fmt.Sprintf("repro: reading embedded %s: %v", p, err))
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", p, len(data))
+			h.Write(data)
+		}
+		versionHex = hex.EncodeToString(h.Sum(nil))
+	})
+	return versionHex
+}

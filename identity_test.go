@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestModelVersionShape pins the identity's contract: a stable 64-hex
+// SHA-256 that covers the simulator/store/harness sources but not their
+// tests (a test edit must not invalidate a fleet's warm cache).
+func TestModelVersionShape(t *testing.T) {
+	v := ModelVersion()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(v) {
+		t.Fatalf("ModelVersion() = %q, want 64 hex chars", v)
+	}
+	if v2 := ModelVersion(); v2 != v {
+		t.Fatalf("ModelVersion not stable: %q then %q", v, v2)
+	}
+}
+
+// TestModelVersionCoversModelSources walks the embedded FS the same way the
+// hash does and asserts the packages the cache key must depend on are in
+// the covered set, and that no test file is.
+func TestModelVersionCoversModelSources(t *testing.T) {
+	var covered []string
+	for _, p := range hashedPaths(t) {
+		covered = append(covered, p)
+		if strings.HasSuffix(p, "_test.go") {
+			t.Errorf("test file %s included in the model hash", p)
+		}
+	}
+	joined := strings.Join(covered, "\n")
+	for _, must := range []string{
+		"internal/sim/sim.go",
+		"internal/lsm/lsm.go",
+		"internal/btree/btree.go",
+		"internal/memtable/memtable.go",
+		"internal/sstable/",
+		"internal/wal/wal.go",
+		"internal/fault/fault.go",
+		"internal/ycsb/runner.go",
+		"internal/stores/cassandra/cassandra.go",
+		"internal/harness/runner.go",
+	} {
+		if !strings.Contains(joined, must) {
+			t.Errorf("model hash does not cover %s", must)
+		}
+	}
+}
+
+// hashedPaths re-derives the file set ModelVersion hashes.
+func hashedPaths(t *testing.T) []string {
+	t.Helper()
+	entries, err := modelFS.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("embedded internal/ is empty")
+	}
+	var out []string
+	var walk func(dir string)
+	walk = func(dir string) {
+		es, err := modelFS.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range es {
+			p := dir + "/" + e.Name()
+			if e.IsDir() {
+				walk(p)
+				continue
+			}
+			if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+				out = append(out, p)
+			}
+		}
+	}
+	walk("internal")
+	return out
+}

@@ -1,0 +1,126 @@
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+)
+
+// FileCache is a content-addressed persistent cell-result cache
+// (apmbench -cache dir). Each entry is one self-verifying JSON file:
+//
+//	{"version": <model hash>, "key": <full cache key>,
+//	 "sha256": <hex digest of result bytes>, "result": {...}}
+//
+// The filename is derived from the key alone — NOT from the model
+// version — so a binary built from changed model sources lands on the
+// same file, sees the version mismatch, and recomputes over it. A hit
+// requires all three proofs: the stored key matches (no hash-prefix
+// collision), the stored version matches this binary, and the result
+// bytes hash to the stored digest (no torn write, truncation or bit rot).
+// Anything less is a miss — stale or corrupt entries are recomputed,
+// never trusted. Writes are atomic (temp file + rename), so a crashed
+// run can at worst leave an entry that fails verification.
+type FileCache struct {
+	dir     string
+	version string
+}
+
+// cacheRecord is the on-disk entry format. Result stays a RawMessage so
+// the checksum covers the exact bytes written and re-read, not a
+// re-serialization.
+type cacheRecord struct {
+	Version string          `json:"version"`
+	Key     string          `json:"key"`
+	SHA256  string          `json:"sha256"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// NewFileCache opens (creating if needed) a cache directory for a binary
+// with the given model version.
+func NewFileCache(dir, version string) (*FileCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("farm: creating cache dir: %w", err)
+	}
+	return &FileCache{dir: dir, version: version}, nil
+}
+
+// path maps a cache key to its file: a hex prefix of the key's SHA-256.
+// 32 hex chars (128 bits) makes accidental collision negligible, and the
+// stored Key field catches even a deliberate one.
+func (fc *FileCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(fc.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// Get implements harness.ResultCache. Any verification failure — missing
+// file, malformed JSON, key or version mismatch, checksum mismatch,
+// undecodable result — is reported as a miss so the caller recomputes.
+func (fc *FileCache) Get(key string) (harness.CellResult, bool) {
+	data, err := os.ReadFile(fc.path(key))
+	if err != nil {
+		return harness.CellResult{}, false
+	}
+	var rec cacheRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return harness.CellResult{}, false
+	}
+	if rec.Key != key || rec.Version != fc.version {
+		return harness.CellResult{}, false
+	}
+	sum := sha256.Sum256(rec.Result)
+	if hex.EncodeToString(sum[:]) != rec.SHA256 {
+		return harness.CellResult{}, false
+	}
+	var res harness.CellResult
+	if err := json.Unmarshal(rec.Result, &res); err != nil {
+		return harness.CellResult{}, false
+	}
+	return res, true
+}
+
+// Put implements harness.ResultCache, overwriting any existing entry for
+// the key (in particular a stale-version or corrupt one). Failures are
+// silent: the cache is an accelerator, and a result that could not be
+// persisted was still returned to the figures.
+func (fc *FileCache) Put(key string, res harness.CellResult) {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(raw)
+	rec := cacheRecord{
+		Version: fc.version,
+		Key:     key,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Result:  raw,
+	}
+	// Plain Marshal: an already-compact RawMessage is embedded byte-for-
+	// byte, so the file holds exactly the bytes the checksum covers.
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	final := fc.path(key)
+	tmp, err := os.CreateTemp(fc.dir, ".put-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

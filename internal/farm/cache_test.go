@@ -1,0 +1,210 @@
+package farm
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func sampleResult() harness.CellResult {
+	w := stats.NewWindowedLatency(0, 100*sim.Millisecond)
+	w.Record(50*sim.Millisecond, 2*sim.Millisecond)
+	w.RecordFailure(150 * sim.Millisecond)
+	return harness.CellResult{
+		Cell:       harness.Cell{System: harness.Redis, Nodes: 2, Workload: "R", Faults: "kill-node@1[0.3:0.6]"},
+		Throughput: 98765.4321,
+		ReadLat:    4 * sim.Millisecond,
+		Ops:        54321,
+		Windows:    w,
+	}
+}
+
+// cacheFile finds the single entry file in a cache dir.
+func cacheFile(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir entries: %v (err %v), want exactly 1", entries, err)
+	}
+	return entries[0]
+}
+
+// TestFileCacheRoundTrip pins the disk codec: a Put entry Gets back
+// exactly, including the recovery-curve windows a fault cell carries.
+func TestFileCacheRoundTrip(t *testing.T) {
+	fc, err := NewFileCache(t.TempDir(), testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResult()
+	fc.Put("cfg|cell", want)
+	got, ok := fc.Get("cfg|cell")
+	if !ok {
+		t.Fatal("fresh entry missed")
+	}
+	if !resultsEqual(want, got) {
+		t.Fatalf("cached result differs:\n%+v\n%+v", want, got)
+	}
+	if _, ok := fc.Get("cfg|other-cell"); ok {
+		t.Fatal("unrelated key hit")
+	}
+}
+
+// TestFileCacheStaleVersionMiss pins the model-identity gate: an entry
+// written by a binary with a different model hash is a miss (recomputed),
+// and recomputing overwrites it in place — same file, new version.
+func TestFileCacheStaleVersionMiss(t *testing.T) {
+	dir := t.TempDir()
+	old, err := NewFileCache(dir, "old-model-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Put("cfg|cell", sampleResult())
+	stale := cacheFile(t, dir)
+
+	cur, err := NewFileCache(dir, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Get("cfg|cell"); ok {
+		t.Fatal("stale-version entry trusted")
+	}
+	// The recompute lands on the same file (version is not in the name),
+	// replacing the stale entry for good.
+	cur.Put("cfg|cell", sampleResult())
+	if f := cacheFile(t, dir); f != stale {
+		t.Fatalf("recompute wrote %s, want overwrite of %s", f, stale)
+	}
+	if _, ok := cur.Get("cfg|cell"); !ok {
+		t.Fatal("recomputed entry missed")
+	}
+	if _, ok := old.Get("cfg|cell"); ok {
+		t.Fatal("old binary trusted the new binary's entry")
+	}
+}
+
+// TestFileCacheCorruptionMiss pins self-verification: flipped result
+// bytes, truncation, non-JSON garbage and a key mismatch are all detected
+// and reported as misses, never decoded into figures.
+func TestFileCacheCorruptionMiss(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func(t *testing.T, path string)
+	}{
+		{"flipped-result-byte", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Corrupt inside the result payload without breaking JSON:
+			// the stored checksum must catch it.
+			s := strings.Replace(string(data), `"Ops":54321`, `"Ops":54320`, 1)
+			if s == string(data) {
+				t.Fatal("corruption target not found in record")
+			}
+			os.WriteFile(path, []byte(s), 0o644)
+		}},
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.WriteFile(path, data[:len(data)/2], 0o644)
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			os.WriteFile(path, []byte("not json at all\n"), 0o644)
+		}},
+		{"key-mismatch", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rec map[string]json.RawMessage
+			if err := json.Unmarshal(data, &rec); err != nil {
+				t.Fatal(err)
+			}
+			rec["key"] = json.RawMessage(`"cfg|some-other-cell"`)
+			out, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.WriteFile(path, out, 0o644)
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fc, err := NewFileCache(dir, testVersion)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fc.Put("cfg|cell", sampleResult())
+			tc.mut(t, cacheFile(t, dir))
+			if _, ok := fc.Get("cfg|cell"); ok {
+				t.Fatal("corrupted entry trusted")
+			}
+			// Recompute path: Put over the damage restores service.
+			fc.Put("cfg|cell", sampleResult())
+			if got, ok := fc.Get("cfg|cell"); !ok || !resultsEqual(got, sampleResult()) {
+				t.Fatal("recompute over corrupted entry failed")
+			}
+		})
+	}
+}
+
+// TestFileCacheEndToEndRecompute drives the full stack: a runner over a
+// stale-version cache re-executes (never trusts), a runner over the
+// matching cache executes nothing.
+func TestFileCacheEndToEndRecompute(t *testing.T) {
+	dir := t.TempDir()
+	cell := harness.Cell{System: harness.Redis, Nodes: 1, Workload: "R"}
+
+	// Cold run with the old model version fills the cache.
+	oldCache, err := NewFileCache(dir, "old-model-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := harness.NewRunner(harness.Quick())
+	r1.Cache = oldCache
+	if _, err := r1.Run(cell); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Executed() != 1 {
+		t.Fatalf("cold run executed %d cells, want 1", r1.Executed())
+	}
+
+	// A new model version must re-execute, not trust the stale entry.
+	newCache, err := NewFileCache(dir, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := harness.NewRunner(harness.Quick())
+	r2.Cache = newCache
+	want, err := r2.Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Executed() != 1 || r2.CacheHits() != 0 {
+		t.Fatalf("stale-version run: executed=%d hits=%d, want 1/0", r2.Executed(), r2.CacheHits())
+	}
+
+	// Same version again: pure cache, zero executions, identical result.
+	r3 := harness.NewRunner(harness.Quick())
+	r3.Cache = newCache
+	got, err := r3.Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Executed() != 0 || r3.CacheHits() != 1 {
+		t.Fatalf("warm run: executed=%d hits=%d, want 0/1", r3.Executed(), r3.CacheHits())
+	}
+	if !resultsEqual(got, want) {
+		t.Fatalf("warm result differs from recomputed:\n%+v\n%+v", got, want)
+	}
+}

@@ -1,0 +1,301 @@
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/harness"
+)
+
+// ErrClosed is returned for cells still pending when the coordinator shuts
+// down with no way to finish them.
+var ErrClosed = errors.New("farm: coordinator closed")
+
+// task is one leased unit of work: a cell plus the channel its requester
+// blocks on. Tasks move queue → a worker's outstanding set → done; a
+// worker dying moves its outstanding tasks back to the queue.
+type task struct {
+	id   int64
+	cell harness.Cell
+	done chan struct{}
+	res  harness.CellResult
+	err  error
+}
+
+// Coordinator accepts workers and leases cells to them. It implements
+// harness.CellExecutor: plug it into Runner.Executor and RunAll's pool
+// becomes the dispatch width, with each ExecuteCell call blocking until
+// some worker returns the cell's result. Safe for concurrent use.
+type Coordinator struct {
+	cfg     harness.Config
+	version string
+	// Logf, when set, receives one line per farm event (worker joined,
+	// rejected, died, leases requeued). Never required for correctness.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*task
+	nextID  int64
+	closed  bool
+	workers int
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewCoordinator creates a coordinator for the given experiment config.
+// version is the binary's model identity (repro.ModelVersion()); workers
+// whose hello carries a different version are rejected.
+func NewCoordinator(cfg harness.Config, version string) *Coordinator {
+	co := &Coordinator{cfg: cfg.Defaults(), version: version}
+	co.cond = sync.NewCond(&co.mu)
+	return co
+}
+
+// Listen binds addr and starts accepting workers in the background.
+// Returns the bound address (useful with ":0" in tests).
+func (co *Coordinator) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	co.mu.Lock()
+	co.ln = ln
+	co.mu.Unlock()
+	co.wg.Add(1)
+	go co.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (co *Coordinator) acceptLoop(ln net.Listener) {
+	defer co.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		co.wg.Add(1)
+		go func() {
+			defer co.wg.Done()
+			co.serveWorker(newConn(c))
+		}()
+	}
+}
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.Logf != nil {
+		co.Logf(format, args...)
+	}
+}
+
+// serveWorker runs one worker connection: handshake, then a lease pump and
+// a result reader until the worker leaves or the coordinator drains it.
+func (co *Coordinator) serveWorker(c *conn) {
+	defer c.close()
+	hello, err := c.recv()
+	if err != nil || hello.Type != msgHello {
+		return
+	}
+	if hello.Version != co.version {
+		co.logf("farm: rejected worker %s: model version %.12s != %.12s",
+			c.c.RemoteAddr(), hello.Version, co.version)
+		c.send(message{Type: msgReject, Reason: fmt.Sprintf(
+			"model version mismatch: worker %s, coordinator %s", hello.Version, co.version)})
+		return
+	}
+	capacity := hello.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	cfg := co.cfg
+	if err := c.send(message{Type: msgHelloAck, Config: &cfg}); err != nil {
+		return
+	}
+
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		c.send(message{Type: msgDrain})
+		return
+	}
+	co.workers++
+	co.mu.Unlock()
+	co.logf("farm: worker %s joined (capacity %d)", c.c.RemoteAddr(), capacity)
+
+	outstanding := map[int64]*task{}
+	var omu sync.Mutex
+	dead := make(chan struct{})
+
+	// Result reader: completes tasks as the worker answers. On exit (EOF,
+	// i.e. worker death or post-drain disconnect) it wakes the lease pump
+	// so the pump notices `dead` rather than waiting forever.
+	go func() {
+		defer func() {
+			close(dead)
+			co.mu.Lock()
+			co.cond.Broadcast()
+			co.mu.Unlock()
+		}()
+		for {
+			m, err := c.recv()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case msgResult, msgError:
+				omu.Lock()
+				t := outstanding[m.ID]
+				delete(outstanding, m.ID)
+				omu.Unlock()
+				if t == nil {
+					continue
+				}
+				if m.Type == msgError {
+					t.err = fmt.Errorf("farm: worker %s: %s", c.c.RemoteAddr(), m.Reason)
+				} else if m.Result == nil {
+					t.err = fmt.Errorf("farm: worker %s sent result %d with no payload", c.c.RemoteAddr(), m.ID)
+				} else {
+					t.res = *m.Result
+				}
+				close(t.done)
+				co.mu.Lock()
+				co.cond.Broadcast() // a slot freed; the lease pump may proceed
+				co.mu.Unlock()
+			}
+		}
+	}()
+
+	// Lease pump: hand the worker a queued cell whenever it has a free slot.
+	for {
+		co.mu.Lock()
+		for {
+			if co.closed {
+				break
+			}
+			omu.Lock()
+			free := len(outstanding) < capacity
+			omu.Unlock()
+			if free && len(co.queue) > 0 {
+				break
+			}
+			select {
+			case <-dead:
+			default:
+				co.cond.Wait()
+				continue
+			}
+			break
+		}
+		select {
+		case <-dead:
+			co.mu.Unlock()
+			co.workerDied(c, outstanding, &omu)
+			return
+		default:
+		}
+		if co.closed {
+			co.mu.Unlock()
+			c.send(message{Type: msgDrain})
+			// Wait for in-flight answers; the reader closes dead on EOF.
+			<-dead
+			co.workerDied(c, outstanding, &omu)
+			return
+		}
+		t := co.queue[0]
+		co.queue = co.queue[1:]
+		co.mu.Unlock()
+
+		omu.Lock()
+		outstanding[t.id] = t
+		omu.Unlock()
+		cell := t.cell
+		if err := c.send(message{Type: msgLease, ID: t.id, Cell: &cell}); err != nil {
+			co.workerDied(c, outstanding, &omu)
+			return
+		}
+	}
+}
+
+// workerDied returns a dead worker's outstanding leases to the queue so
+// surviving workers pick them up, and drops the worker from the count.
+func (co *Coordinator) workerDied(c *conn, outstanding map[int64]*task, omu *sync.Mutex) {
+	omu.Lock()
+	var orphans []*task
+	for id, t := range outstanding {
+		orphans = append(orphans, t)
+		delete(outstanding, id)
+	}
+	omu.Unlock()
+	co.mu.Lock()
+	closed := co.closed
+	if !closed {
+		co.queue = append(orphans, co.queue...)
+	}
+	co.workers--
+	co.cond.Broadcast()
+	co.mu.Unlock()
+	if closed {
+		// The farm is draining; no worker will ever take these.
+		for _, t := range orphans {
+			t.err = ErrClosed
+			close(t.done)
+		}
+	} else if len(orphans) > 0 {
+		co.logf("farm: worker %s left; requeued %d cells", c.c.RemoteAddr(), len(orphans))
+	}
+}
+
+// ExecuteCell implements harness.CellExecutor: enqueue the cell and block
+// until a worker returns its result (workers may join at any time; the
+// call waits for them). The runner's singleflight layer guarantees each
+// distinct cell reaches here at most once per process.
+func (co *Coordinator) ExecuteCell(cell harness.Cell) (harness.CellResult, error) {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return harness.CellResult{}, ErrClosed
+	}
+	co.nextID++
+	t := &task{id: co.nextID, cell: cell, done: make(chan struct{})}
+	co.queue = append(co.queue, t)
+	co.cond.Broadcast()
+	co.mu.Unlock()
+	<-t.done
+	return t.res, t.err
+}
+
+// Workers reports how many workers are currently joined.
+func (co *Coordinator) Workers() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.workers
+}
+
+// Close drains the farm: workers finish in-flight cells, receive drain and
+// disconnect; cells still queued fail with ErrClosed. Idempotent.
+func (co *Coordinator) Close() error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil
+	}
+	co.closed = true
+	pending := co.queue
+	co.queue = nil
+	ln := co.ln
+	co.cond.Broadcast()
+	co.mu.Unlock()
+
+	for _, t := range pending {
+		t.err = ErrClosed
+		close(t.done)
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	co.wg.Wait()
+	return nil
+}

@@ -1,0 +1,266 @@
+package farm
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+const testVersion = "test-model-version"
+
+// resultsEqual compares two CellResults field-for-field, including the
+// windowed recovery curve (pointer equality is useless across a codec).
+func resultsEqual(a, b harness.CellResult) bool {
+	aw, bw := a.Windows, b.Windows
+	a.Windows, b.Windows = nil, nil
+	if a != b {
+		return false
+	}
+	switch {
+	case aw == nil && bw == nil:
+		return true
+	case aw == nil || bw == nil:
+		return false
+	}
+	return aw.Equal(bw)
+}
+
+// TestCellResultWireRoundTrip pins the farm's payload codec: a CellResult
+// with every field set — including the windowed latency a fault cell
+// carries into the scenario appendix — survives the message envelope
+// exactly.
+func TestCellResultWireRoundTrip(t *testing.T) {
+	w := stats.NewWindowedLatency(100*sim.Millisecond, 50*sim.Millisecond)
+	w.Record(120*sim.Millisecond, 3*sim.Millisecond)
+	w.Record(180*sim.Millisecond, 9*sim.Millisecond)
+	w.RecordFailure(230 * sim.Millisecond)
+	res := harness.CellResult{
+		Cell: harness.Cell{
+			System: harness.Cassandra, Nodes: 4, Workload: "R",
+			Variants: "replication=2", Faults: "kill-node@1[0.45:0.7]",
+		},
+		Throughput: 123456.789,
+		ReadLat:    3 * sim.Millisecond,
+		WriteLat:   5 * sim.Millisecond,
+		ScanLat:    7 * sim.Millisecond,
+		UpdateLat:  2 * sim.Millisecond,
+		Ops:        100000, Errors: 7, Timeouts: 3,
+		DiskBytesPaperScale: 9.5e9,
+		Windows:             w,
+	}
+
+	// Round-trip through the same conn framing the farm uses, over TCP
+	// loopback — exactly the path a worker's answer takes.
+	_, client, server := loopback(t)
+	go func() {
+		client.send(message{Type: msgResult, ID: 42, Result: &res})
+	}()
+	m, err := server.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != msgResult || m.ID != 42 || m.Result == nil {
+		t.Fatalf("decoded message %+v", m)
+	}
+	if !resultsEqual(res, *m.Result) {
+		t.Fatalf("result differs after wire round trip:\n%+v\n%+v", res, *m.Result)
+	}
+	if m.Result.Windows.Quantile(0, 0.99) != w.Quantile(0, 0.99) ||
+		m.Result.Windows.Availability(2) != w.Availability(2) {
+		t.Fatal("recovery-curve values differ after wire round trip")
+	}
+}
+
+// TestFarmMatchesSerial is the core equivalence property: a plan executed
+// through a coordinator and two workers produces, cell for cell, results
+// identical to a serial in-process runner — including a fault cell's
+// recovery windows.
+func TestFarmMatchesSerial(t *testing.T) {
+	cells := []harness.Cell{
+		{System: harness.Redis, Nodes: 1, Workload: "R"},
+		{System: harness.Redis, Nodes: 2, Workload: "RW"},
+		{System: harness.Cassandra, Nodes: 2, Workload: "W"},
+		{System: harness.Cassandra, Nodes: 2, Workload: "R", Faults: "kill-node@1[0.45:0.7]"},
+		{System: harness.MySQL, Nodes: 1, Workload: "RW"},
+	}
+
+	serial := harness.NewRunner(harness.Quick())
+	want := make([]harness.CellResult, len(cells))
+	for i, c := range cells {
+		res, err := serial.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	co := NewCoordinator(harness.Quick(), testVersion)
+	addr, err := co.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = Join(addr.String(), WorkerOptions{Version: testVersion, Capacity: 2})
+		}(i)
+	}
+
+	farm := harness.NewRunner(harness.Quick())
+	farm.Executor = co
+	farm.Workers = 4
+	if err := farm.RunAll(cells); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		got, err := farm.Run(c) // in-memory cache after RunAll
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(got, want[i]) {
+			t.Errorf("cell %d (%s/%d/%s): farm result differs from serial:\n%+v\n%+v",
+				i, c.System, c.Nodes, c.Workload, got, want[i])
+		}
+	}
+	co.Close()
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestWorkerVersionMismatchRejected pins the hello handshake: a worker
+// whose model hash differs is turned away with a reason, and the
+// coordinator keeps serving correct-version workers.
+func TestWorkerVersionMismatchRejected(t *testing.T) {
+	co := NewCoordinator(harness.Quick(), testVersion)
+	addr, err := co.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	err = Join(addr.String(), WorkerOptions{Version: "some-other-model", Capacity: 1})
+	if err == nil || !strings.Contains(err.Error(), "version mismatch") {
+		t.Fatalf("mismatched worker joined: err=%v", err)
+	}
+	if n := co.Workers(); n != 0 {
+		t.Fatalf("rejected worker counted as joined: %d", n)
+	}
+}
+
+// TestWorkerDeathRequeuesLeases pins fault tolerance: a worker that takes
+// a lease and dies mid-cell loses nothing — the lease returns to the queue
+// and a healthy worker completes it.
+func TestWorkerDeathRequeuesLeases(t *testing.T) {
+	co := NewCoordinator(harness.Quick(), testVersion)
+	addr, err := co.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// A hand-rolled worker that handshakes, grabs one lease, and dies.
+	leased := make(chan struct{})
+	go func() {
+		d, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Error(err)
+			close(leased)
+			return
+		}
+		c := newConn(d)
+		c.send(message{Type: msgHello, Version: testVersion, Capacity: 1})
+		if m, err := c.recv(); err != nil || m.Type != msgHelloAck {
+			t.Errorf("fake worker handshake: %+v %v", m, err)
+			c.close()
+			close(leased)
+			return
+		}
+		if m, err := c.recv(); err != nil || m.Type != msgLease {
+			t.Errorf("fake worker lease: %+v %v", m, err)
+		}
+		c.close() // die without answering
+		close(leased)
+	}()
+
+	cell := harness.Cell{System: harness.Redis, Nodes: 1, Workload: "W"}
+	resCh := make(chan harness.CellResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := co.ExecuteCell(cell)
+		resCh <- res
+		errCh <- err
+	}()
+
+	<-leased // the doomed worker had the cell
+	// Now a real worker joins and should inherit the requeued lease.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var joinErr error
+	go func() {
+		defer wg.Done()
+		joinErr = Join(addr.String(), WorkerOptions{Version: testVersion, Capacity: 1})
+	}()
+
+	select {
+	case res := <-resCh:
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		want, err := harness.NewRunner(harness.Quick()).Run(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(res, want) {
+			t.Fatalf("requeued cell result differs from serial:\n%+v\n%+v", res, want)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("requeued lease never completed")
+	}
+	co.Close()
+	wg.Wait()
+	if joinErr != nil {
+		t.Fatalf("surviving worker: %v", joinErr)
+	}
+}
+
+// loopback builds a connected conn pair over TCP loopback.
+func loopback(t *testing.T) (net.Listener, *conn, *conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	cl, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() { cl.Close(); a.c.Close() })
+	return ln, newConn(cl), newConn(a.c)
+}

@@ -1,0 +1,99 @@
+// Package farm distributes harness cells across processes: a coordinator
+// (apmbench -serve) plans figures exactly as a single process would, but
+// leases each cell to joined workers (apmbench -join) and merges their
+// results through the runner's ordinary singleflight path. Because a
+// cell's seed is a pure function of (config, cell identity, repetition),
+// a worker's answer is bit-identical to a local measurement, and the
+// merged figures render byte-for-byte the same as a serial run.
+//
+// The wire protocol is JSON lines over TCP, one message per line:
+//
+//	worker → hello{version,capacity}
+//	coordinator → helloAck{config}   (or reject{reason}, then close)
+//	coordinator → lease{id,cell}     (at most `capacity` outstanding)
+//	worker → result{id,result}       (or error{id,reason})
+//	coordinator → drain              (no more leases; finish and leave)
+//
+// The hello version is the binary's model hash (repro.ModelVersion): a
+// worker built from different model sources is rejected at the door, not
+// allowed to contribute silently different numbers.
+package farm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/harness"
+)
+
+// Message types.
+const (
+	msgHello    = "hello"
+	msgHelloAck = "helloAck"
+	msgReject   = "reject"
+	msgLease    = "lease"
+	msgResult   = "result"
+	msgError    = "error"
+	msgDrain    = "drain"
+)
+
+// message is the single wire envelope; Type selects which fields are set.
+// One flat struct keeps the codec trivial and the protocol greppable.
+type message struct {
+	Type string `json:"type"`
+	// hello
+	Version  string `json:"version,omitempty"`
+	Capacity int    `json:"capacity,omitempty"`
+	// helloAck
+	Config *harness.Config `json:"config,omitempty"`
+	// reject / error
+	Reason string `json:"reason,omitempty"`
+	// lease / result / error
+	ID     int64               `json:"id,omitempty"`
+	Cell   *harness.Cell       `json:"cell,omitempty"`
+	Result *harness.CellResult `json:"result,omitempty"`
+}
+
+// conn frames messages as JSON lines over a net.Conn. Writes are
+// serialized (lease pushes and result reads race otherwise); reads are
+// single-reader by construction.
+type conn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	wmu sync.Mutex
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, r: bufio.NewReader(c)}
+}
+
+func (c *conn) send(m message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("farm: encoding %s message: %w", m.Type, err)
+	}
+	data = append(data, '\n')
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.c.Write(data); err != nil {
+		return fmt.Errorf("farm: sending %s message: %w", m.Type, err)
+	}
+	return nil
+}
+
+func (c *conn) recv() (message, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return message{}, err
+	}
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return message{}, fmt.Errorf("farm: decoding message: %w", err)
+	}
+	return m, nil
+}
+
+func (c *conn) close() error { return c.c.Close() }

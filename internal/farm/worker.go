@@ -1,0 +1,111 @@
+package farm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/harness"
+)
+
+// WorkerOptions configures Join.
+type WorkerOptions struct {
+	// Version is the binary's model identity, sent in hello; the
+	// coordinator rejects a version it does not share.
+	Version string
+	// Capacity bounds concurrently executing cells on this worker (the
+	// coordinator never leases more than this many at once). 0 means 1.
+	Capacity int
+	// Cache, when set, serves and stores this worker's cell results (a
+	// warm worker answers leases without re-measuring).
+	Cache harness.ResultCache
+	// Logf, when set, receives one line per worker event.
+	Logf func(format string, args ...any)
+}
+
+// Join connects to a coordinator, executes leased cells with a local
+// runner built from the coordinator's config, and returns when the
+// coordinator drains the farm (or the connection drops). The error is nil
+// on a clean drain.
+func Join(addr string, opts WorkerOptions) error {
+	capacity := opts.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("farm: joining %s: %w", addr, err)
+	}
+	c := newConn(nc)
+	defer c.close()
+
+	if err := c.send(message{Type: msgHello, Version: opts.Version, Capacity: capacity}); err != nil {
+		return err
+	}
+	ack, err := c.recv()
+	if err != nil {
+		return fmt.Errorf("farm: handshake with %s: %w", addr, err)
+	}
+	switch ack.Type {
+	case msgReject:
+		return fmt.Errorf("farm: coordinator %s rejected this worker: %s", addr, ack.Reason)
+	case msgHelloAck:
+		if ack.Config == nil {
+			return fmt.Errorf("farm: coordinator %s sent helloAck without a config", addr)
+		}
+	default:
+		return fmt.Errorf("farm: unexpected handshake message %q from %s", ack.Type, addr)
+	}
+
+	// The worker's runner mirrors the coordinator's experiment exactly:
+	// same config, so the same cell keys and the same seeds. Leases run
+	// concurrently up to capacity; the runner's own caches mean repeated
+	// leases of one cell (possible after a requeue) measure once.
+	runner := harness.NewRunner(*ack.Config)
+	runner.Workers = capacity
+	runner.Cache = opts.Cache
+	logf("farm: joined %s (capacity %d, config %s)", addr, capacity, ack.Config.Fingerprint())
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, capacity)
+	for {
+		m, err := c.recv()
+		if err != nil {
+			// Connection gone: the coordinator died or dropped us. Finish
+			// what's running (results have nowhere to go, but the runner
+			// cache keeps them for a future lease) and report the cut.
+			wg.Wait()
+			return fmt.Errorf("farm: connection to %s lost: %w", addr, err)
+		}
+		switch m.Type {
+		case msgDrain:
+			wg.Wait()
+			logf("farm: drained by %s", addr)
+			return nil
+		case msgLease:
+			if m.Cell == nil {
+				return fmt.Errorf("farm: lease %d from %s has no cell", m.ID, addr)
+			}
+			id, cell := m.ID, *m.Cell
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := runner.Run(cell)
+				if err != nil {
+					c.send(message{Type: msgError, ID: id, Reason: err.Error()})
+					return
+				}
+				c.send(message{Type: msgResult, ID: id, Result: &res})
+			}()
+		default:
+			return fmt.Errorf("farm: unexpected message %q from %s", m.Type, addr)
+		}
+	}
+}

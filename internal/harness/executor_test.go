@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mapCache is an in-memory ResultCache for plumbing tests.
+type mapCache struct {
+	mu   sync.Mutex
+	m    map[string]CellResult
+	gets int
+	puts int
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string]CellResult{}} }
+
+func (c *mapCache) Get(key string) (CellResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	res, ok := c.m[key]
+	return res, ok
+}
+
+func (c *mapCache) Put(key string, res CellResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[key] = res
+}
+
+// countingExecutor wraps local measurement, counting dispatches.
+type countingExecutor struct {
+	r     *Runner
+	mu    sync.Mutex
+	cells []Cell
+}
+
+func (e *countingExecutor) ExecuteCell(c Cell) (CellResult, error) {
+	e.mu.Lock()
+	e.cells = append(e.cells, c)
+	e.mu.Unlock()
+	return e.r.measure(c, e.r.key(c))
+}
+
+// TestResultCachePlumbing pins the resolveCell contract: a cold run
+// executes and fills the persistent cache; a fresh runner over the same
+// cache executes nothing (Executed()==0, all hits) yet returns identical
+// results; and the cache key carries the config fingerprint, so a runner
+// with a different seed misses.
+func TestResultCachePlumbing(t *testing.T) {
+	cell := Cell{System: Redis, Nodes: 1, Workload: "R"}
+	cache := newMapCache()
+
+	cold := NewRunner(Quick())
+	cold.Cache = cache
+	want, err := cold.Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Executed() != 1 || cold.CacheHits() != 0 {
+		t.Fatalf("cold run: executed=%d hits=%d, want 1/0", cold.Executed(), cold.CacheHits())
+	}
+	if cache.puts != 1 {
+		t.Fatalf("cold run put %d entries, want 1", cache.puts)
+	}
+	for key := range cache.m {
+		if !strings.Contains(key, "|") || !strings.Contains(key, "seed=") {
+			t.Fatalf("cache key %q missing config fingerprint", key)
+		}
+	}
+
+	warm := NewRunner(Quick())
+	warm.Cache = cache
+	got, err := warm.Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Executed() != 0 || warm.CacheHits() != 1 {
+		t.Fatalf("warm run: executed=%d hits=%d, want 0/1", warm.Executed(), warm.CacheHits())
+	}
+	if got != want {
+		t.Fatalf("warm result differs from cold:\n%+v\n%+v", got, want)
+	}
+
+	// A different experiment identity must not hit the same entries.
+	cfg := Quick()
+	cfg.Seed = 99
+	other := NewRunner(cfg)
+	other.Cache = cache
+	if _, err := other.Run(cell); err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheHits() != 0 || other.Executed() != 1 {
+		t.Fatalf("different-seed run: executed=%d hits=%d, want 1/0", other.Executed(), other.CacheHits())
+	}
+}
+
+// TestExecutorDispatch pins that a configured Executor receives exactly the
+// cells the runner could not serve from cache, and that its answers enter
+// the in-memory cell cache like local measurements (second Run is free).
+func TestExecutorDispatch(t *testing.T) {
+	r := NewRunner(Quick())
+	backend := NewRunner(Quick())
+	exec := &countingExecutor{r: backend}
+	r.Executor = exec
+
+	cell := Cell{System: Redis, Nodes: 1, Workload: "RW"}
+	res, err := r.Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.cells) != 1 || exec.cells[0] != cell {
+		t.Fatalf("executor saw cells %+v, want exactly the requested cell", exec.cells)
+	}
+
+	// Same cell again: served from the in-memory cache, not re-dispatched.
+	again, err := r.Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.cells) != 1 {
+		t.Fatalf("second Run re-dispatched: executor saw %d cells", len(exec.cells))
+	}
+	if again != res {
+		t.Fatal("cached result differs from executor result")
+	}
+
+	// The answer matches a purely local runner bit-for-bit (the farm's
+	// merge-equivalence property in miniature).
+	local, err := NewRunner(Quick()).Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local != res {
+		t.Fatalf("executor result differs from local:\n%+v\n%+v", res, local)
+	}
+
+	// Persistent cache beats the executor: with both set, a warm cache
+	// means zero dispatches.
+	cache := newMapCache()
+	cache.Put(Quick().Fingerprint()+"|"+r.key(cell), res)
+	r2 := NewRunner(Quick())
+	r2.Executor = exec
+	r2.Cache = cache
+	if _, err := r2.Run(cell); err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.cells) != 1 {
+		t.Fatal("warm cache still dispatched to executor")
+	}
+	if r2.Executed() != 0 || r2.CacheHits() != 1 {
+		t.Fatalf("warm run with executor: executed=%d hits=%d, want 0/1", r2.Executed(), r2.CacheHits())
+	}
+}

@@ -452,3 +452,109 @@ func TestCompactionThresholdVariant(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchSizeVariant pins the hbase batch-size deploy variant: a
+// one-record write buffer flushes an RPC per put where the default of 128
+// amortizes it, so HBase's write-heavy cell must shift; other systems and
+// malformed forms are rejected.
+func TestBatchSizeVariant(t *testing.T) {
+	run := func(v string) float64 {
+		dep, err := DeployVariants(7, HBase, cluster.ClusterM(2), 0.001, v)
+		if err != nil {
+			t.Fatalf("hbase deploy %q: %v", v, err)
+		}
+		if err := ycsb.Load(dep.Store, 20000); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ycsb.Run(dep.Engine, ycsb.RunConfig{
+			Store:          dep.Store,
+			Workload:       ycsb.WorkloadW,
+			Clients:        8,
+			InitialRecords: 20000,
+			Warmup:         50 * sim.Millisecond,
+			Measure:        200 * sim.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput()
+	}
+
+	defTput := run("")
+	unbatched := run("batch-size=1")
+	if defTput == unbatched {
+		t.Fatalf("hbase batch-size=1 changed nothing (tput %v); variant not reaching the client buffer", defTput)
+	}
+	// The default spelled out explicitly must reproduce the paper cell.
+	if explicit := run("batch-size=128"); explicit != defTput {
+		t.Fatalf("batch-size=128 (%v) differs from default (%v)", explicit, defTput)
+	}
+
+	for _, bad := range []struct {
+		sys System
+		v   string
+	}{
+		{Cassandra, "batch-size=64"}, // hbase-only vocabulary
+		{Redis, "batch-size=64"},
+		{HBase, "batch-size=0"}, // below the minimum of 1
+		{HBase, "batch-size=x"}, // not an integer
+		{HBase, "batch-size="},  // empty value
+	} {
+		if _, err := DeployVariants(1, bad.sys, cluster.ClusterM(1), 0.001, bad.v); err == nil {
+			t.Fatalf("%s accepted %q", bad.sys, bad.v)
+		}
+	}
+}
+
+// TestSitesPerHostVariant pins the voltdb sites-per-host deploy variant:
+// it resizes the partition ring, so keys hash to different single-threaded
+// sites and the cell's numbers move; other systems and malformed forms are
+// rejected.
+func TestSitesPerHostVariant(t *testing.T) {
+	run := func(v string) float64 {
+		dep, err := DeployVariants(7, VoltDB, cluster.ClusterM(2), 0.001, v)
+		if err != nil {
+			t.Fatalf("voltdb deploy %q: %v", v, err)
+		}
+		if err := ycsb.Load(dep.Store, 20000); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ycsb.Run(dep.Engine, ycsb.RunConfig{
+			Store:          dep.Store,
+			Workload:       ycsb.WorkloadW,
+			Clients:        8,
+			InitialRecords: 20000,
+			Warmup:         50 * sim.Millisecond,
+			Measure:        200 * sim.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput()
+	}
+
+	defTput := run("")
+	single := run("sites-per-host=1")
+	if defTput == single {
+		t.Fatalf("voltdb sites-per-host=1 changed nothing (tput %v); variant not reaching the ring", defTput)
+	}
+	// The paper's default spelled out explicitly must reproduce the cell.
+	if explicit := run("sites-per-host=6"); explicit != defTput {
+		t.Fatalf("sites-per-host=6 (%v) differs from default (%v)", explicit, defTput)
+	}
+
+	for _, bad := range []struct {
+		sys System
+		v   string
+	}{
+		{MySQL, "sites-per-host=4"}, // voltdb-only vocabulary
+		{HBase, "sites-per-host=4"},
+		{VoltDB, "sites-per-host=0"}, // below the minimum of 1
+		{VoltDB, "sites-per-host=x"}, // not an integer
+		{VoltDB, "sites-per-host="},  // empty value
+	} {
+		if _, err := DeployVariants(1, bad.sys, cluster.ClusterM(1), 0.001, bad.v); err == nil {
+			t.Fatalf("%s accepted %q", bad.sys, bad.v)
+		}
+	}
+}

@@ -65,6 +65,17 @@ func (c Config) Defaults() Config {
 	return c
 }
 
+// Fingerprint is the config's identity for result caching and the farm
+// handshake: every field that shapes a cell's numbers, at full precision.
+// NodeCounts is deliberately excluded — it selects which cells a sweep
+// plans, not what any one cell measures — so narrowing a sweep still hits
+// the cache entries the wide sweep wrote.
+func (c Config) Fingerprint() string {
+	c = c.Defaults()
+	return fmt.Sprintf("scale=%g,rpn=%d,drec=%d,warm=%d,meas=%d,seed=%d,reps=%d",
+		c.Scale, c.RecordsPerNode, c.ClusterDRecords, int64(c.Warmup), int64(c.Measure), c.Seed, c.Repetitions)
+}
+
 // Quick returns a low-fidelity config for tests.
 func Quick() Config {
 	return Config{
@@ -211,6 +222,29 @@ type CellResult struct {
 	Windows *stats.WindowedLatency
 }
 
+// CellExecutor measures one cell the runner could not serve from any
+// cache. The default (nil) executor measures in process; the farm
+// coordinator substitutes one that leases the cell to a remote worker.
+// Either way the result must be the deterministic function of
+// (Config, cell) the seeding contract promises — the runner dispatches
+// cached, remote and local execution through the same singleflight path
+// and treats the answers as interchangeable.
+type CellExecutor interface {
+	ExecuteCell(c Cell) (CellResult, error)
+}
+
+// ResultCache is a persistent store of cell results, keyed by the full
+// experiment identity (Config fingerprint + cell key; implementations add
+// the binary's model version). A Get hit is returned to figures without
+// re-measuring anything; implementations must verify integrity and version
+// and report misses for anything they cannot prove fresh — a stale or
+// corrupt entry must be recomputed, never trusted. Both methods must be
+// safe for concurrent use.
+type ResultCache interface {
+	Get(key string) (CellResult, bool)
+	Put(key string, res CellResult)
+}
+
 // Runner executes and caches experiment cells so figures sharing the same
 // runs (e.g. Fig 3/4/5) measure each cell once.
 //
@@ -230,6 +264,16 @@ type Runner struct {
 	// serialized; RunAll delivers lines in plan order regardless of which
 	// worker finishes first.
 	Progress func(string)
+	// Executor, when set, measures the cells this runner could not serve
+	// from any cache (the farm coordinator sets one that leases cells to
+	// remote workers); nil measures in process. Cache, when set, is a
+	// persistent result cache consulted before executing and filled after,
+	// so a re-run of the same experiment with the same model version
+	// executes zero cells. Both sit inside the singleflight path: cached,
+	// remote and local results flow through the same slot and the in-memory
+	// cell cache above them.
+	Executor CellExecutor
+	Cache    ResultCache
 	// MemStats, when set, receives one diagnostic line per executed cell
 	// after its load phase: the store's retained slab bytes (keys, field
 	// payloads, index arenas) and the process heap in use. Lines are
@@ -238,10 +282,11 @@ type Runner struct {
 	// determinism gate runs without them.
 	MemStats func(string)
 
-	mu       sync.Mutex
-	cache    map[string]CellResult
-	inflight map[string]*inflightCell
-	executed int64 // cells measured rather than served from cache
+	mu        sync.Mutex
+	cache     map[string]CellResult
+	inflight  map[string]*inflightCell
+	executed  int64 // cells measured rather than served from any cache
+	cacheHits int64 // cells served from the persistent Cache
 
 	progressMu sync.Mutex
 }
@@ -407,13 +452,18 @@ func (r *Runner) do(c Cell) (CellResult, string, error) {
 	r.inflight[key] = fl
 	r.mu.Unlock()
 
-	fl.res, fl.err = r.measure(c, key)
+	var hit bool
+	fl.res, hit, fl.err = r.resolveCell(c, key)
 
 	r.mu.Lock()
 	if fl.err == nil {
 		r.cache[key] = fl.res
 	}
-	r.executed++
+	if hit {
+		r.cacheHits++
+	} else {
+		r.executed++
+	}
 	delete(r.inflight, key)
 	r.mu.Unlock()
 	close(fl.done)
@@ -421,6 +471,30 @@ func (r *Runner) do(c Cell) (CellResult, string, error) {
 		return CellResult{}, "", fl.err
 	}
 	return fl.res, progressLine(c, fl.res), nil
+}
+
+// resolveCell produces a cell's result from inside its singleflight slot:
+// the persistent cache first (hit=true, nothing executed), else the remote
+// executor when one is set, else a local measurement. Fresh results are
+// written back to the persistent cache so the next process starts warm.
+func (r *Runner) resolveCell(c Cell, key string) (CellResult, bool, error) {
+	cacheKey := r.Cfg.Fingerprint() + "|" + key
+	if r.Cache != nil {
+		if res, ok := r.Cache.Get(cacheKey); ok {
+			return res, true, nil
+		}
+	}
+	var res CellResult
+	var err error
+	if r.Executor != nil {
+		res, err = r.Executor.ExecuteCell(c)
+	} else {
+		res, err = r.measure(c, key)
+	}
+	if err == nil && r.Cache != nil {
+		r.Cache.Put(cacheKey, res)
+	}
+	return res, false, err
 }
 
 // measure executes a cell outside the cache: repetition averaging for
@@ -716,6 +790,16 @@ func (r *Runner) Executed() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.executed
+}
+
+// CacheHits reports how many cells were served by the persistent Cache
+// instead of being executed. A warm re-run of an identical experiment
+// should show Executed()==0 with every planned cell counted here — the
+// property the CI warm-cache gate asserts.
+func (r *Runner) CacheHits() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cacheHits
 }
 
 // parallelMap runs f(0..n-1) on up to workers goroutines and returns the

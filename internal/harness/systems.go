@@ -75,9 +75,9 @@ func Deploy(seed int64, sys System, spec cluster.Spec, scale float64) (*Deployme
 //	cassandra: tokens=random|optimal, commitlog=off|<ms>,
 //	           replication=<n>, consistency=one|all|<n>,
 //	           compression=on|off, compaction-threshold=<n>
-//	hbase:     autoflush=on|off, compaction-threshold=<n>
+//	hbase:     autoflush=on|off, compaction-threshold=<n>, batch-size=<n>
 //	redis:     sharding=balanced|ring
-//	voltdb:    async=on|off
+//	voltdb:    async=on|off, sites-per-host=<n>
 //	mysql:     binlog=on|off, btree-bulk=on|off
 //	voldemort: btree-bulk=on|off
 //	any:       conns=<per-node client connections> (resolved by the
@@ -94,6 +94,17 @@ func Deploy(seed int64, sys System, spec cluster.Spec, scale float64) (*Deployme
 // paper's default is 4, and n must be at least 2). Lower values compact
 // eagerly (fewer runs to read, more write amplification); higher values
 // let tiers grow.
+//
+// batch-size=<n> sets HBase's client write buffer in records (the paper's
+// deferred-autoflush batching; n must be at least 1, default 128): every
+// n-th put pays the flush RPC, so smaller buffers trade throughput for
+// freshness. It only matters with autoflush off (the default), where the
+// client batches; with autoflush=on every put is its own RPC regardless.
+//
+// sites-per-host=<n> sets VoltDB's single-threaded partition count per
+// host (the paper's sites_per_host, default 6; n must be at least 1).
+// It moves the partition ring, so keys hash to different sites and
+// multi-partition fan-out spreads across a different executor count.
 //
 // An empty Variants string is the paper's configuration; such cells share
 // cache entries (and seeds) with the corresponding figure cells.
@@ -283,6 +294,12 @@ func deployHBase(c *cluster.Cluster, scale float64, kvs [][2]string) (store.Stor
 				return nil, fmt.Errorf("harness: hbase variant compaction-threshold=%s: want an integer >= 2", kv[1])
 			}
 			opts.CompactMin = n
+		case "batch-size":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("harness: hbase variant batch-size=%s: want an integer >= 1", kv[1])
+			}
+			opts.BatchRecords = n
 		default:
 			return nil, fmt.Errorf("harness: hbase does not support variant %q", kv[0])
 		}
@@ -337,6 +354,12 @@ func deployVoltDB(c *cluster.Cluster, kvs [][2]string) (store.Store, error) {
 				return nil, err
 			}
 			opts.Async = on
+		case "sites-per-host":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("harness: voltdb variant sites-per-host=%s: want an integer >= 1", kv[1])
+			}
+			opts.SitesPerHost = n
 		default:
 			return nil, fmt.Errorf("harness: voltdb does not support variant %q", kv[0])
 		}

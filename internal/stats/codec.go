@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// JSON codecs for the statistics types a CellResult carries across process
+// boundaries: the cell farm ships results over the wire and the persistent
+// result cache stores them on disk, and in both cases the decoded value
+// must be EXACT — every count, bound and quantile identical — so a figure
+// assembled from remote or cached results renders byte-for-byte the same
+// as one assembled in process. All fields are integers (sim.Time is an
+// int64), so encoding/json round-trips them losslessly.
+
+// histogramJSON is the wire form of a Histogram. Counts are a sparse,
+// index-sorted list of [bucket, count] pairs: most of the 432 log buckets
+// of a typical window are empty, and the sorted order keeps the encoding
+// deterministic for content addressing.
+type histogramJSON struct {
+	N      int64      `json:"n"`
+	Sum    sim.Time   `json:"sum"`
+	Min    sim.Time   `json:"min"`
+	Max    sim.Time   `json:"max"`
+	Counts [][2]int64 `json:"counts,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	out := histogramJSON{N: h.n, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c != 0 {
+			out.Counts = append(out.Counts, [2]int64{int64(i), c})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rebuilding the exact bucket
+// state. Out-of-range bucket indexes are rejected: a decoded histogram
+// either reproduces the original exactly or errors, never silently skews.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var in histogramJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	fresh := NewHistogram()
+	*h = *fresh
+	h.n, h.sum, h.min, h.max = in.N, in.Sum, in.Min, in.Max
+	for _, pair := range in.Counts {
+		i, c := pair[0], pair[1]
+		if i < 0 || i >= int64(len(h.counts)) {
+			return fmt.Errorf("stats: histogram bucket %d out of range [0,%d)", i, len(h.counts))
+		}
+		h.counts[i] = c
+	}
+	return nil
+}
+
+// windowJSON is the wire form of one latency window.
+type windowJSON struct {
+	Ok   int64      `json:"ok"`
+	Fail int64      `json:"fail,omitempty"`
+	Hist *Histogram `json:"hist,omitempty"`
+}
+
+// windowedLatencyJSON is the wire form of a WindowedLatency.
+type windowedLatencyJSON struct {
+	Start    sim.Time     `json:"start"`
+	Interval sim.Time     `json:"interval"`
+	Windows  []windowJSON `json:"windows"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (w *WindowedLatency) MarshalJSON() ([]byte, error) {
+	out := windowedLatencyJSON{Start: w.start, Interval: w.interval}
+	for _, win := range w.wins {
+		out.Windows = append(out.Windows, windowJSON{Ok: win.ok, Fail: win.fail, Hist: win.hist})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded recorder is
+// indistinguishable from the original: same origin, same window count,
+// same per-window histograms, so a recovery-curve appendix rendered from
+// it is byte-identical.
+func (w *WindowedLatency) UnmarshalJSON(data []byte) error {
+	var in windowedLatencyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Interval <= 0 {
+		return fmt.Errorf("stats: decoded window interval %d is not positive", in.Interval)
+	}
+	w.start = in.Start
+	w.interval = in.Interval
+	w.wins = nil
+	for _, win := range in.Windows {
+		w.wins = append(w.wins, latWindow{hist: win.Hist, ok: win.Ok, fail: win.Fail})
+	}
+	return nil
+}
+
+// Equal reports whether two recorders hold identical state (codec tests).
+func (w *WindowedLatency) Equal(other *WindowedLatency) bool {
+	if w.start != other.start || w.interval != other.interval || len(w.wins) != len(other.wins) {
+		return false
+	}
+	for i := range w.wins {
+		a, b := &w.wins[i], &other.wins[i]
+		if a.ok != b.ok || a.fail != b.fail {
+			return false
+		}
+		switch {
+		case a.hist == nil && b.hist == nil:
+		case a.hist == nil || b.hist == nil:
+			return false
+		case !a.hist.Equal(b.hist):
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two histograms hold identical state.
+func (h *Histogram) Equal(other *Histogram) bool {
+	if h.n != other.n || h.sum != other.sum || h.min != other.min || h.max != other.max {
+		return false
+	}
+	if len(h.counts) != len(other.counts) {
+		return false
+	}
+	for i := range h.counts {
+		if h.counts[i] != other.counts[i] {
+			return false
+		}
+	}
+	return true
+}

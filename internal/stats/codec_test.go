@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestHistogramJSONRoundTrip fills a histogram with a latency spread
+// covering several decades and asserts the decoded copy is exactly equal —
+// same counts, bounds, mean and quantiles.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Record(sim.Time(rng.Int63n(int64(2 * sim.Second))))
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(&got) {
+		t.Fatal("decoded histogram differs from original")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a, b := h.Quantile(q), got.Quantile(q); a != b {
+			t.Fatalf("quantile %g differs after round trip: %v vs %v", q, a, b)
+		}
+	}
+	if h.Mean() != got.Mean() || h.Min() != got.Min() || h.Max() != got.Max() {
+		t.Fatal("summary stats differ after round trip")
+	}
+}
+
+// TestHistogramJSONRoundTripEmpty pins the empty histogram (min sentinel at
+// MaxInt64) surviving the codec, so merging into a decoded histogram keeps
+// working.
+func TestHistogramJSONRoundTripEmpty(t *testing.T) {
+	h := NewHistogram()
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(&got) {
+		t.Fatal("decoded empty histogram differs")
+	}
+	got.Record(5 * sim.Millisecond)
+	if got.Min() != 5*sim.Millisecond {
+		t.Fatalf("min sentinel lost in round trip: Min()=%v", got.Min())
+	}
+}
+
+// TestHistogramJSONRejectsBadBucket pins the self-verification: a record
+// with a corrupted bucket index errors instead of skewing quantiles.
+func TestHistogramJSONRejectsBadBucket(t *testing.T) {
+	var got Histogram
+	if err := json.Unmarshal([]byte(`{"n":1,"sum":5,"min":5,"max":5,"counts":[[100000,1]]}`), &got); err == nil {
+		t.Fatal("out-of-range bucket index accepted")
+	}
+}
+
+// TestWindowedLatencyJSONRoundTrip builds the kind of recorder a fault cell
+// produces — some windows full, one failure-only, trailing windows empty —
+// and asserts exact equality plus identical derived recovery-curve values
+// after a round trip, including through a Merge (the repetition-averaging
+// path runs Merge on decoded values).
+func TestWindowedLatencyJSONRoundTrip(t *testing.T) {
+	w := NewWindowedLatency(100*sim.Millisecond, 50*sim.Millisecond)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		at := 100*sim.Millisecond + sim.Time(rng.Int63n(int64(400*sim.Millisecond)))
+		w.Record(at, sim.Time(rng.Int63n(int64(80*sim.Millisecond))))
+	}
+	// A fully failed window (the kill) and an untouched trailing window.
+	w.RecordFailure(520 * sim.Millisecond)
+	w.RecordFailure(530 * sim.Millisecond)
+	w.idx(620 * sim.Millisecond)
+
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got WindowedLatency
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(&got) {
+		t.Fatal("decoded windowed latency differs from original")
+	}
+	if got.Windows() != w.Windows() {
+		t.Fatalf("window count %d vs %d", got.Windows(), w.Windows())
+	}
+	for i := 0; i < w.Windows(); i++ {
+		if w.Ok(i) != got.Ok(i) || w.Failed(i) != got.Failed(i) ||
+			w.Availability(i) != got.Availability(i) ||
+			w.Throughput(i) != got.Throughput(i) ||
+			w.Quantile(i, 0.99) != got.Quantile(i, 0.99) ||
+			w.Quantile(i, 0.999) != got.Quantile(i, 0.999) {
+			t.Fatalf("window %d derived values differ after round trip", i)
+		}
+	}
+
+	// Merging a second decoded repetition must behave exactly like merging
+	// the live original.
+	var gotCopy WindowedLatency
+	if err := json.Unmarshal(data, &gotCopy); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Merge(&gotCopy); err != nil {
+		t.Fatal(err)
+	}
+	if got.Ok(0) != 2*w.Ok(0) {
+		t.Fatalf("merge after decode: ok=%d want %d", got.Ok(0), 2*w.Ok(0))
+	}
+}
+
+// TestWindowedLatencyJSONRejectsBadInterval pins validation of the one
+// field every index computation divides by.
+func TestWindowedLatencyJSONRejectsBadInterval(t *testing.T) {
+	var got WindowedLatency
+	if err := json.Unmarshal([]byte(`{"start":0,"interval":0,"windows":[]}`), &got); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}

@@ -54,13 +54,29 @@ type Record struct {
 // prefix) instead of going through fmt.
 func Key(i int64) string {
 	var b [KeyBytes]byte
+	writeKey(&b, i)
+	return string(b[:])
+}
+
+// AppendKey appends record i's key to dst and returns the extended slice:
+// Key without the string allocation. Hot loops (the YCSB runner's
+// per-client operation loop, the load loop) keep one buffer and rebuild it
+// per operation; against stores that copy key bytes on ingest (see
+// CopiesOnIngest) that removes the last per-operation allocation of the
+// insert path.
+func AppendKey(dst []byte, i int64) []byte {
+	var b [KeyBytes]byte
+	writeKey(&b, i)
+	return append(dst, b[:]...)
+}
+
+func writeKey(b *[KeyBytes]byte, i int64) {
 	b[0], b[1], b[2], b[3] = 'u', 's', 'e', 'r'
 	v := permute(uint64(i))
 	for j := KeyBytes - 1; j >= 4; j-- {
 		b[j] = '0' + byte(v%10)
 		v /= 10
 	}
-	return string(b[:])
 }
 
 // permute is MurmurHash3's 64-bit finalizer: a bijective mixer, so distinct
@@ -175,16 +191,19 @@ var ErrOverloaded = errors.New("store: node overloaded")
 var ErrUnavailable = errors.New("store: node unavailable")
 
 // IngestCopier is implemented by stores whose Insert/Update/Load paths
-// copy field bytes before retaining them (slab-backed engines: their
-// arenas own the payload). A store that retains the caller's slices must
-// not implement it (or must return false).
+// copy key and field bytes before retaining them (slab-backed engines:
+// their arenas own both), and whose Read/Scan paths do not retain the
+// lookup key at all. A store that retains any caller bytes past an
+// operation's return must clone them first (see the Cassandra async
+// replica) or must not implement the interface.
 type IngestCopier interface {
 	CopiesOnIngest() bool
 }
 
-// CopiesOnIngest reports whether s copies field bytes on ingest, meaning a
-// caller may reuse one FillFields buffer across writes. Stores that do not
-// declare the capability are assumed to retain the caller's slices.
+// CopiesOnIngest reports whether s copies key and field bytes on ingest,
+// meaning a caller may reuse one FillFields buffer — and one AppendKey
+// buffer — across operations. Stores that do not declare the capability
+// are assumed to retain the caller's slices and strings.
 func CopiesOnIngest(s Store) bool {
 	c, ok := s.(IngestCopier)
 	return ok && c.CopiesOnIngest()

@@ -220,3 +220,35 @@ func BenchmarkStoreKey(b *testing.B) {
 		}
 	}
 }
+
+// TestAppendKeyMatchesKey pins the reusable-buffer key builder against the
+// allocating one: identical bytes for any record number, appended after
+// whatever the buffer already holds.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	var buf []byte
+	for _, i := range []int64{0, 1, 7, 999_999, -3, 1 << 40} {
+		buf = AppendKey(buf[:0], i)
+		if string(buf) != Key(i) {
+			t.Fatalf("AppendKey(%d) = %q, Key = %q", i, buf, Key(i))
+		}
+	}
+	buf = append(buf[:0], "prefix"...)
+	buf = AppendKey(buf, 42)
+	if string(buf) != "prefix"+Key(42) {
+		t.Fatalf("AppendKey did not append: %q", buf)
+	}
+}
+
+// BenchmarkStoreAppendKey is BenchmarkStoreKey on the reused-buffer path
+// the YCSB runner's operation loop takes against copy-on-ingest stores:
+// zero allocations once the buffer exists.
+func BenchmarkStoreAppendKey(b *testing.B) {
+	buf := make([]byte, 0, KeyBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendKey(buf[:0], int64(i))
+		if len(buf) != KeyBytes {
+			b.Fatal("bad key")
+		}
+	}
+}

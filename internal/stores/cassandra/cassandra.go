@@ -16,6 +16,7 @@ package cassandra
 
 import (
 	"sort"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/hashring"
@@ -343,9 +344,12 @@ func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
 		coord.machine.Compute(p, s.opts.CoordCPU)
 		// Async replicas apply the mutation after the client is
 		// acknowledged, so they must not retain the caller's (possibly
-		// reused) fields buffer. One deep copy is shared by all of them:
-		// applyMutation never mutates it and the memtable copies on ingest.
+		// reused) fields buffer — or its key, which may be a view of a
+		// reused key buffer. One deep copy of each is shared by all of
+		// them: applyMutation never mutates either and the memtable
+		// copies on ingest.
 		var async store.Fields
+		var asyncKey string
 		cloned := false
 		// The coordinator waits for sync acknowledgements; the remaining
 		// replicas apply the mutation in the background.
@@ -364,15 +368,16 @@ func (s *Store) write(p *sim.Proc, key string, f store.Fields) error {
 			}
 			if !cloned {
 				async = f.Clone()
+				asyncKey = strings.Clone(key)
 				cloned = true
 			}
-			fc := async
+			fc, kc := async, asyncKey
 			p.Engine().Go("cassandra-async-replica", func(bp *sim.Proc) {
 				bp.Sleep(coord.machine.NetDelay(base.ReqHeader+base.RecordWire) + s.lag[rep.id])
 				if s.down[rep.id] {
 					return // replica died before the mutation arrived
 				}
-				s.applyMutation(bp, rep, key, fc)
+				s.applyMutation(bp, rep, kc, fc)
 			})
 		}
 	})

@@ -3,11 +3,25 @@ package ycsb
 import (
 	"errors"
 	"fmt"
+	"unsafe"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
 )
+
+// keyBuf builds record keys into one reusable buffer, handing them out as
+// zero-copy string views. Sound only against stores that copy key bytes on
+// ingest and never retain a lookup key (store.CopiesOnIngest): the view
+// aliases the buffer, and the next key overwrites it in place. Each
+// goroutine owns its buffer; the view must not outlive the operation it
+// was built for.
+type keyBuf []byte
+
+func (b *keyBuf) key(i int64) string {
+	*b = store.AppendKey((*b)[:0], i)
+	return unsafe.String(unsafe.SliceData(*b), len(*b))
+}
 
 // RunConfig describes one benchmark execution against a deployed store.
 type RunConfig struct {
@@ -72,13 +86,17 @@ func Load(s store.Store, n int64) error { return LoadSized(s, n, store.FieldByte
 func LoadSized(s store.Store, n int64, fieldBytes int) error {
 	reuse := store.CopiesOnIngest(s)
 	var buf store.Fields
+	var kb keyBuf
 	for i := int64(0); i < n; i++ {
+		var key string
 		if reuse {
 			buf = store.FillFields(buf, i, fieldBytes)
+			key = kb.key(i)
 		} else {
 			buf = store.MakeFieldsSized(i, fieldBytes)
+			key = store.Key(i)
 		}
-		if err := s.Load(store.Key(i), buf); err != nil {
+		if err := s.Load(key, buf); err != nil {
 			return fmt.Errorf("ycsb: load record %d: %w", i, err)
 		}
 	}
@@ -129,21 +147,29 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 	e.Schedule(cfg.Warmup, func() { col.Begin(e.Now()) })
 	e.Schedule(cfg.Warmup+cfg.Measure, func() { col.Finish(e.Now()) })
 
-	// Stores that copy field bytes on ingest let each client reuse one
-	// fields buffer for every insert/update instead of allocating a fresh
-	// field set per operation.
-	reuseFields := store.CopiesOnIngest(cfg.Store)
+	// Stores that copy key and field bytes on ingest let each client reuse
+	// one fields buffer and one key buffer for every operation instead of
+	// allocating fresh per operation — with both reused, the steady-state
+	// operation loop allocates nothing.
+	reuseBufs := store.CopiesOnIngest(cfg.Store)
 
 	for i := 0; i < cfg.Clients; i++ {
 		e.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
 			rng := p.Rand()
 			var fbuf store.Fields
+			var kb keyBuf
 			makeFields := func(id int64) store.Fields {
-				if reuseFields {
+				if reuseBufs {
 					fbuf = store.FillFields(fbuf, id, fieldBytes)
 					return fbuf
 				}
 				return store.MakeFieldsSized(id, fieldBytes)
+			}
+			makeKey := func(id int64) string {
+				if reuseBufs {
+					return kb.key(id)
+				}
+				return store.Key(id)
 			}
 			// Desynchronize client start within one pacing interval.
 			if interval > 0 {
@@ -155,18 +181,18 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 				var err error
 				switch kind {
 				case stats.OpRead:
-					key := store.Key(chooser.Choose(inserted, rng.Float64(), rng.Float64()))
+					key := makeKey(chooser.Choose(inserted, rng.Float64(), rng.Float64()))
 					_, err = cfg.Store.Read(p, key)
 				case stats.OpScan:
-					key := store.Key(chooser.Choose(inserted, rng.Float64(), rng.Float64()))
+					key := makeKey(chooser.Choose(inserted, rng.Float64(), rng.Float64()))
 					_, err = cfg.Store.Scan(p, key, cfg.Workload.ScanLength)
 				case stats.OpInsert:
 					id := inserted
 					inserted++
-					err = cfg.Store.Insert(p, store.Key(id), makeFields(id))
+					err = cfg.Store.Insert(p, makeKey(id), makeFields(id))
 				case stats.OpUpdate:
 					id := chooser.Choose(inserted, rng.Float64(), rng.Float64())
-					err = cfg.Store.Update(p, store.Key(id), makeFields(id))
+					err = cfg.Store.Update(p, makeKey(id), makeFields(id))
 				}
 				switch lat := p.Now() - opStart; {
 				case err != nil:

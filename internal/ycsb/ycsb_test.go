@@ -1,6 +1,7 @@
 package ycsb
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -309,5 +310,113 @@ func TestTrackThroughputSeries(t *testing.T) {
 	}
 	if st := res.Series.Stability(); st < 0.8 || st > 1.2 {
 		t.Fatalf("fixed-latency store stability = %f, want ~1", st)
+	}
+}
+
+// copyingFake is fakeStore with the copy-on-ingest contract the real
+// stores implement: key and field bytes are cloned before retention, so
+// the runner takes its buffer-reuse path (one key buffer and one fields
+// buffer per client, zero steady-state allocations).
+type copyingFake struct {
+	*fakeStore
+}
+
+func (c *copyingFake) CopiesOnIngest() bool { return true }
+func (c *copyingFake) Insert(p *sim.Proc, key string, fl store.Fields) error {
+	return c.fakeStore.Insert(p, strings.Clone(key), fl.Clone())
+}
+func (c *copyingFake) Update(p *sim.Proc, key string, fl store.Fields) error {
+	return c.Insert(p, key, fl)
+}
+func (c *copyingFake) Load(key string, fl store.Fields) error {
+	return c.fakeStore.Load(strings.Clone(key), fl.Clone())
+}
+
+// TestReusedBuffersMatchAllocatingRun pins the key/fields buffer reuse:
+// against a copy-on-ingest store the runner reuses per-client buffers, and
+// the run must be indistinguishable from the allocating path — identical
+// throughput and op counts, and every retained record must hold exactly
+// the bytes its record number implies (a stale or overwritten buffer view
+// would leave another record's key or fields behind).
+func TestReusedBuffersMatchAllocatingRun(t *testing.T) {
+	const initial = 400
+	run := func(s store.Store) (*Result, error) {
+		e := sim.NewEngine(77)
+		if err := Load(s, initial); err != nil {
+			return nil, err
+		}
+		return Run(e, RunConfig{
+			Store: s, Workload: WorkloadW, Clients: 8,
+			InitialRecords: initial, Warmup: 50 * sim.Millisecond, Measure: 500 * sim.Millisecond,
+		})
+	}
+	plain := newFake(sim.Millisecond, 500*sim.Microsecond, 2*sim.Millisecond)
+	copying := &copyingFake{newFake(sim.Millisecond, 500*sim.Microsecond, 2*sim.Millisecond)}
+	resPlain, err := run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resReuse, err := run(copying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPlain.Throughput() != resReuse.Throughput() || resPlain.Ops() != resReuse.Ops() {
+		t.Fatalf("reuse path diverged: %f/%d vs %f/%d",
+			resPlain.Throughput(), resPlain.Ops(), resReuse.Throughput(), resReuse.Ops())
+	}
+
+	// Integrity sweep: map keys back to record numbers and verify payloads.
+	// writes counts every insert/update including warmup and drain, so
+	// initial+writes bounds the highest record number any key can carry.
+	byKey := map[string]int64{}
+	for id := int64(0); id < initial+int64(copying.writes)+16; id++ {
+		byKey[store.Key(id)] = id
+	}
+	if len(copying.data) <= initial {
+		t.Fatalf("write workload retained only %d records", len(copying.data))
+	}
+	for key, fl := range copying.data {
+		id, ok := byKey[key]
+		if !ok {
+			t.Fatalf("retained key %q maps to no record number (aliased buffer?)", key)
+		}
+		want := store.MakeFields(id)
+		for j := range want {
+			if string(fl[j]) != string(want[j]) {
+				t.Fatalf("record %d field %d = %q, want %q (aliased buffer?)", id, j, fl[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRunSteadyStateAllocs pins the zero-allocation operation loop against
+// a copy-on-ingest store: after warmup, inserts and updates reuse the
+// per-client key and fields buffers.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	var kb keyBuf
+	var fbuf store.Fields
+	avg := testing.AllocsPerRun(1000, func() {
+		_ = kb.key(12345)
+		fbuf = store.FillFields(fbuf, 12345, store.FieldBytes)
+	})
+	if avg != 0 {
+		t.Fatalf("per-op key+fields build allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+// TestKeyBufMatchesKey pins the zero-copy key view: same bytes as
+// store.Key, and the view is invalidated (overwritten in place) by the
+// next build — exactly the contract CopiesOnIngest stores rely on.
+func TestKeyBufMatchesKey(t *testing.T) {
+	var kb keyBuf
+	for _, id := range []int64{0, 5, 999_999_999} {
+		if got := kb.key(id); got != store.Key(id) {
+			t.Fatalf("keyBuf.key(%d) = %q, want %q", id, got, store.Key(id))
+		}
+	}
+	first := kb.key(1)
+	second := kb.key(2)
+	if first != second {
+		t.Fatal("old key view survived a rebuild; buffer is not being reused")
 	}
 }
