@@ -68,8 +68,11 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 		memstats   = flag.Bool("memstats", false, "report retained host memory (heap in use + store slab bytes) to stderr after each cell's load phase")
 		serve      = flag.String("serve", "", "coordinate a cell farm: listen on this address (e.g. :9090) and lease cells to joined workers instead of executing locally")
-		join       = flag.String("join", "", "join a cell farm as a worker: connect to this coordinator address, execute leased cells, exit when drained")
+		join       = flag.String("join", "", "join a cell farm as a worker: connect to this coordinator address, execute leased cells, exit when drained (reconnects on connection loss)")
 		cacheDir   = flag.String("cache", "", "persistent result cache directory: serve hits instead of executing, keyed by config + cell + model version")
+		leaseTO    = flag.Duration("lease-timeout", 0, "with -serve: requeue a leased cell unanswered for this long and dock the worker's capacity (0 = auto-scale to cell fidelity)")
+		speculate  = flag.Bool("speculate", true, "with -serve: re-lease the slowest outstanding cells to idle workers when the queue is empty; duplicate results are byte-compared")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "with -cache: evict least-recently-used entries to keep the directory under this many bytes (0 = unbounded)")
 		version    = flag.Bool("version", false, "print the model version (content hash of the model sources) and exit")
 	)
 	flag.Parse()
@@ -83,7 +86,7 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *join != "" {
-		runWorker(*join, *parallel, *cacheDir)
+		runWorker(*join, *parallel, *cacheDir, *cacheMax)
 		return
 	}
 
@@ -153,16 +156,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
 			os.Exit(2)
 		}
+		fc.MaxBytes = *cacheMax
+		fc.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
 		r.Cache = fc
 		// The warm-cache CI gate greps this line: a second identical run
 		// must show executed=0. Printed only when -cache is given, so
-		// cacheless runs keep byte-identical stderr.
+		// cacheless runs keep byte-identical stderr; the put-errors field
+		// appears only when a write actually failed, so healthy runs keep
+		// the exact historical format.
 		defer func() {
-			fmt.Fprintf(os.Stderr, "cache: hits=%d executed=%d\n", r.CacheHits(), r.Executed())
+			line := fmt.Sprintf("cache: hits=%d executed=%d", r.CacheHits(), r.Executed())
+			if n := fc.PutErrors(); n > 0 {
+				line += fmt.Sprintf(" put-errors=%d", n)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}()
 	}
 	if *serve != "" {
 		co := farm.NewCoordinator(cfg, repro.ModelVersion())
+		co.LeaseTimeout = *leaseTO
+		co.Speculate = *speculate
 		if _, err := co.Listen(*serve); err != nil {
 			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
 			os.Exit(2)
@@ -175,8 +190,15 @@ func main() {
 		if !set["parallel"] {
 			r.Workers = 64
 		}
-		// Drain on the way out so workers exit cleanly.
-		defer co.Close()
+		// Drain on the way out so workers exit cleanly. A non-nil Close
+		// error is a cross-worker divergence the farm detected: the output
+		// cannot be trusted, so fail loudly instead of exiting 0.
+		defer func() {
+			if err := co.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 	if *memstats {
 		// Diagnostics only: heap numbers vary with GC timing and
@@ -257,9 +279,10 @@ func main() {
 }
 
 // runWorker joins a cell farm and executes leased cells until the
-// coordinator drains the farm. The experiment config comes from the
-// coordinator's handshake; local fidelity flags are ignored.
-func runWorker(addr string, parallel int, cacheDir string) {
+// coordinator drains the farm, reconnecting with backoff if the
+// connection drops. The experiment config comes from the coordinator's
+// handshake; local fidelity flags are ignored.
+func runWorker(addr string, parallel int, cacheDir string, cacheMax int64) {
 	capacity := parallel
 	if capacity <= 0 {
 		capacity = runtime.GOMAXPROCS(0)
@@ -270,6 +293,10 @@ func runWorker(addr string, parallel int, cacheDir string) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "apmbench: %v\n", err)
 			os.Exit(2)
+		}
+		fc.MaxBytes = cacheMax
+		fc.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 		cache = fc
 	}

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -26,9 +29,29 @@ import (
 // Anything less is a miss — stale or corrupt entries are recomputed,
 // never trusted. Writes are atomic (temp file + rename), so a crashed
 // run can at worst leave an entry that fails verification.
+//
+// With MaxBytes set the cache is a bounded LRU: Get touches an entry's
+// mtime, and Put evicts least-recently-used entries until the directory
+// fits the budget — a long-lived farm's cache stops growing without
+// operator attention. Put failures (full disk, permissions) never fail
+// the run — the result was still returned to the figures — but they are
+// counted (PutErrors) and reported once per run through Logf, so a dead
+// disk does not masquerade as a cold cache.
 type FileCache struct {
 	dir     string
 	version string
+
+	// MaxBytes, when positive, bounds the total size of cache entries;
+	// Put evicts oldest-mtime entries to fit. 0 means unbounded.
+	MaxBytes int64
+	// Logf, when set, receives the once-per-run put-failure warning (and
+	// nothing else). apmbench points it at stderr — never stdout, which
+	// is reserved for byte-diffable figure output.
+	Logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	putErrors int64
+	warned    bool
 }
 
 // cacheRecord is the on-disk entry format. Result stays a RawMessage so
@@ -61,8 +84,11 @@ func (fc *FileCache) path(key string) string {
 // Get implements harness.ResultCache. Any verification failure — missing
 // file, malformed JSON, key or version mismatch, checksum mismatch,
 // undecodable result — is reported as a miss so the caller recomputes.
+// A hit refreshes the entry's mtime, making it recently-used for the
+// MaxBytes eviction order.
 func (fc *FileCache) Get(key string) (harness.CellResult, bool) {
-	data, err := os.ReadFile(fc.path(key))
+	p := fc.path(key)
+	data, err := os.ReadFile(p)
 	if err != nil {
 		return harness.CellResult{}, false
 	}
@@ -81,16 +107,19 @@ func (fc *FileCache) Get(key string) (harness.CellResult, bool) {
 	if err := json.Unmarshal(rec.Result, &res); err != nil {
 		return harness.CellResult{}, false
 	}
+	// Best-effort LRU touch; a read-only cache dir still serves hits.
+	now := time.Now()
+	os.Chtimes(p, now, now)
 	return res, true
 }
 
 // Put implements harness.ResultCache, overwriting any existing entry for
-// the key (in particular a stale-version or corrupt one). Failures are
-// silent: the cache is an accelerator, and a result that could not be
-// persisted was still returned to the figures.
+// the key (in particular a stale-version or corrupt one). A failure never
+// fails the run, but is counted and warned about once (see FileCache).
 func (fc *FileCache) Put(key string, res harness.CellResult) {
 	raw, err := json.Marshal(res)
 	if err != nil {
+		fc.putFailed(err)
 		return
 	}
 	sum := sha256.Sum256(raw)
@@ -104,23 +133,97 @@ func (fc *FileCache) Put(key string, res harness.CellResult) {
 	// byte, so the file holds exactly the bytes the checksum covers.
 	data, err := json.Marshal(rec)
 	if err != nil {
+		fc.putFailed(err)
 		return
 	}
 	final := fc.path(key)
 	tmp, err := os.CreateTemp(fc.dir, ".put-*")
 	if err != nil {
+		fc.putFailed(err)
 		return
 	}
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
+		fc.putFailed(err)
 		return
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
+		fc.putFailed(err)
 		return
 	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		os.Remove(tmp.Name())
+		fc.putFailed(err)
+		return
+	}
+	if fc.MaxBytes > 0 {
+		fc.evict()
+	}
+}
+
+// PutErrors reports how many cache writes failed so far (full disk,
+// permissions, serialization). The cache stayed correct throughout —
+// failed writes just mean future runs recompute those cells.
+func (fc *FileCache) PutErrors() int64 {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.putErrors
+}
+
+func (fc *FileCache) putFailed(err error) {
+	fc.mu.Lock()
+	fc.putErrors++
+	warn := !fc.warned && fc.Logf != nil
+	fc.warned = true
+	fc.mu.Unlock()
+	if warn {
+		fc.Logf("farm: cache put failed: %v (results are unaffected; further put failures counted, not logged)", err)
+	}
+}
+
+// evict removes oldest-mtime entries until the cache fits MaxBytes.
+// Serialized so concurrent Puts don't race over the same victims; all
+// removals are best-effort (a vanished victim was evicted by someone
+// else, which is fine).
+func (fc *FileCache) evict() {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	ents, err := os.ReadDir(fc.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	for _, e := range ents {
+		// Only committed entries: in-flight ".put-*" temp files belong to
+		// concurrent writers and are not ours to reap.
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{filepath.Join(fc.dir, e.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= fc.MaxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= fc.MaxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
 	}
 }

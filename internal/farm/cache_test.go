@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/sim"
@@ -206,5 +207,85 @@ func TestFileCacheEndToEndRecompute(t *testing.T) {
 	}
 	if !resultsEqual(got, want) {
 		t.Fatalf("warm result differs from recomputed:\n%+v\n%+v", got, want)
+	}
+}
+
+// TestFileCacheEviction pins the MaxBytes LRU: Put evicts the
+// least-recently-used entries (by mtime) to fit the budget, and a Get
+// counts as use — a hit entry survives eviction over a colder one.
+func TestFileCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	fc, err := NewFileCache(dir, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-length keys give byte-identical entry sizes, so the budget
+	// arithmetic below is exact.
+	keys := []string{"cfg|cell1", "cfg|cell2", "cfg|cell3", "cfg|cell4"}
+	for _, k := range keys[:3] {
+		fc.Put(k, sampleResult())
+	}
+	info, err := os.Stat(fc.path(keys[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := info.Size()
+	fc.MaxBytes = 3 * size // room for exactly three entries
+
+	// Age the entries: cell1 oldest, then cell2, then cell3.
+	now := time.Now()
+	for i, k := range keys[:3] {
+		age := time.Duration(3-i) * time.Hour
+		if err := os.Chtimes(fc.path(k), now.Add(-age), now.Add(-age)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A hit on cell1 makes it recently used: cell2 is now the LRU victim.
+	if _, ok := fc.Get(keys[0]); !ok {
+		t.Fatal("cell1 missed before eviction")
+	}
+	fc.Put(keys[3], sampleResult()) // 4 entries > budget: evict one
+
+	wantPresent := map[string]bool{keys[0]: true, keys[1]: false, keys[2]: true, keys[3]: true}
+	for k, want := range wantPresent {
+		if _, ok := fc.Get(k); ok != want {
+			t.Errorf("after eviction: Get(%s)=%v, want %v", k, ok, want)
+		}
+	}
+}
+
+// TestFileCachePutErrorsCountedAndLoggedOnce pins the failure accounting:
+// a cache that cannot write stays a correct (if useless) cache, counts
+// every failed Put, and warns exactly once.
+func TestFileCachePutErrorsCountedAndLoggedOnce(t *testing.T) {
+	dir := t.TempDir()
+	fc, err := NewFileCache(filepath.Join(dir, "cache"), testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	fc.Logf = func(format string, args ...any) {
+		warnings = append(warnings, format)
+	}
+	// Sabotage the directory: replace it with a plain file so every
+	// CreateTemp fails (permission tricks don't work when tests run as
+	// root; a non-directory fails for anyone).
+	if err := os.RemoveAll(filepath.Join(dir, "cache")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cache"), []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fc.Put("cfg|cell1", sampleResult())
+	fc.Put("cfg|cell2", sampleResult())
+	if n := fc.PutErrors(); n != 2 {
+		t.Fatalf("PutErrors=%d, want 2", n)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("put failure warned %d times, want exactly once: %v", len(warnings), warnings)
+	}
+	if _, ok := fc.Get("cfg|cell1"); ok {
+		t.Fatal("unwritable cache somehow served a hit")
 	}
 }

@@ -1,6 +1,9 @@
 package farm
 
 import (
+	"bufio"
+	"bytes"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -14,21 +17,16 @@ import (
 
 const testVersion = "test-model-version"
 
-// resultsEqual compares two CellResults field-for-field, including the
-// windowed recovery curve (pointer equality is useless across a codec).
-func resultsEqual(a, b harness.CellResult) bool {
-	aw, bw := a.Windows, b.Windows
-	a.Windows, b.Windows = nil, nil
-	if a != b {
-		return false
+// recvSkipHB receives the next non-heartbeat message: the coordinator
+// interleaves keepalives with everything else, and hand-rolled fake
+// workers only care about the substantive frames.
+func recvSkipHB(c *conn) (message, error) {
+	for {
+		m, err := c.recv()
+		if err != nil || m.Type != msgHeartbeat {
+			return m, err
+		}
 	}
-	switch {
-	case aw == nil && bw == nil:
-		return true
-	case aw == nil || bw == nil:
-		return false
-	}
-	return aw.Equal(bw)
 }
 
 // TestCellResultWireRoundTrip pins the farm's payload codec: a CellResult
@@ -182,13 +180,13 @@ func TestWorkerDeathRequeuesLeases(t *testing.T) {
 		}
 		c := newConn(d)
 		c.send(message{Type: msgHello, Version: testVersion, Capacity: 1})
-		if m, err := c.recv(); err != nil || m.Type != msgHelloAck {
+		if m, err := recvSkipHB(c); err != nil || m.Type != msgHelloAck {
 			t.Errorf("fake worker handshake: %+v %v", m, err)
 			c.close()
 			close(leased)
 			return
 		}
-		if m, err := c.recv(); err != nil || m.Type != msgLease {
+		if m, err := recvSkipHB(c); err != nil || m.Type != msgLease {
 			t.Errorf("fake worker lease: %+v %v", m, err)
 		}
 		c.close() // die without answering
@@ -233,6 +231,540 @@ func TestWorkerDeathRequeuesLeases(t *testing.T) {
 	wg.Wait()
 	if joinErr != nil {
 		t.Fatalf("surviving worker: %v", joinErr)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness: a line-framed TCP proxy between workers and the
+// coordinator that can cut connections, and corrupt, duplicate, or delay
+// result frames on the worker→coordinator path. Triggers are counted in
+// frames, not wall-clock, so every chaos schedule is deterministic.
+
+type chaosProxy struct {
+	ln       net.Listener
+	upstream string
+
+	mu          sync.Mutex
+	conns       []net.Conn
+	seenResults int
+	corruptLeft int           // corrupt the next N result frames
+	dupLeft     int           // duplicate the next N result frames
+	cutAfter    int           // cut every connection after N result frames
+	resultDelay time.Duration // hold every result frame this long
+}
+
+func newChaosProxy(t *testing.T, upstream string) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, upstream: upstream}
+	go p.accept()
+	t.Cleanup(func() { ln.Close(); p.cutAll() })
+	return p
+}
+
+func (p *chaosProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *chaosProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		u, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, c, u)
+		p.mu.Unlock()
+		go p.pump(c, u, true)  // worker → coordinator: chaos applies
+		go p.pump(u, c, false) // coordinator → worker: passthrough
+	}
+}
+
+func (p *chaosProxy) cutAll() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (p *chaosProxy) pump(src, dst net.Conn, chaos bool) {
+	r := bufio.NewReader(src)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var delay time.Duration
+			cut := false
+			if chaos && bytes.Contains(line, []byte(`"type":"result"`)) {
+				p.mu.Lock()
+				p.seenResults++
+				delay = p.resultDelay
+				switch {
+				case p.corruptLeft > 0:
+					p.corruptLeft--
+					line = []byte("@@not-json{{{\n")
+				case p.dupLeft > 0:
+					p.dupLeft--
+					line = append(line, line...)
+				}
+				if p.cutAfter > 0 && p.seenResults >= p.cutAfter {
+					p.cutAfter = 0
+					cut = true
+				}
+				p.mu.Unlock()
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if _, werr := dst.Write(line); werr != nil {
+				src.Close()
+				return
+			}
+			if cut {
+				p.cutAll()
+			}
+		}
+		if err != nil {
+			dst.Close()
+			return
+		}
+	}
+}
+
+// fakeWorker is a scriptable protocol peer: it handshakes, heartbeats,
+// surfaces leases on a channel without answering them (the tests decide
+// what, if anything, to reply), and leaves on drain.
+type fakeWorker struct {
+	c      *conn
+	leases chan message
+	done   chan struct{}
+}
+
+func startFakeWorker(t *testing.T, addr string, hb time.Duration) *fakeWorker {
+	t.Helper()
+	d, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(d)
+	t.Cleanup(func() { c.close() })
+	if err := c.send(message{Type: msgHello, Version: testVersion, Capacity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := recvSkipHB(c); err != nil || m.Type != msgHelloAck {
+		t.Fatalf("fake worker handshake: %+v %v", m, err)
+	}
+	w := &fakeWorker{c: c, leases: make(chan message, 4), done: make(chan struct{})}
+	stopHB := make(chan struct{})
+	go func() {
+		tk := time.NewTicker(hb)
+		defer tk.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-tk.C:
+				if c.send(message{Type: msgHeartbeat}) != nil {
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer close(w.done)
+		defer close(stopHB)
+		for {
+			m, err := c.recv()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case msgLease:
+				w.leases <- m
+			case msgDrain:
+				c.close()
+				return
+			}
+		}
+	}()
+	return w
+}
+
+// joinAsync runs a real worker in the background; the returned func waits
+// for it and reports its Join error.
+func joinAsync(t *testing.T, addr string, opts WorkerOptions) func() error {
+	t.Helper()
+	if opts.Version == "" {
+		opts.Version = testVersion
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- Join(addr, opts) }()
+	return func() error { return <-errCh }
+}
+
+// TestChaosFarmMatchesSerial is the tentpole equivalence property under
+// failure injection: with the worker↔coordinator link cut mid-run,
+// result frames corrupted, duplicated, or delayed, the farm's results
+// are still byte-identical to a serial in-process run — failure handling
+// may cost time, never numbers.
+func TestChaosFarmMatchesSerial(t *testing.T) {
+	cells := []harness.Cell{
+		{System: harness.Redis, Nodes: 1, Workload: "R"},
+		{System: harness.Redis, Nodes: 2, Workload: "RW"},
+		{System: harness.Cassandra, Nodes: 2, Workload: "W"},
+		{System: harness.Cassandra, Nodes: 2, Workload: "R", Faults: "kill-node@1[0.45:0.7]"},
+		{System: harness.MySQL, Nodes: 1, Workload: "RW"},
+	}
+	serial := harness.NewRunner(harness.Quick())
+	want := make([]harness.CellResult, len(cells))
+	for i, c := range cells {
+		res, err := serial.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	modes := []struct {
+		name     string
+		arm      func(p *chaosProxy)
+		minJoins int64
+		wantDups int64
+	}{
+		// Cut every connection after the second result: the worker must
+		// reconnect, re-hello, and pick its leases back up.
+		{"cut-connection", func(p *chaosProxy) { p.cutAfter = 2 }, 2, 0},
+		// Corrupt the first result frame: the coordinator must drop the
+		// connection (a half-parsed stream is unusable), requeue, and
+		// serve the re-joined worker the cell again.
+		{"corrupt-frame", func(p *chaosProxy) { p.corruptLeft = 1 }, 2, 0},
+		// Duplicate the first result frame: the coordinator must accept
+		// one copy and byte-audit the other, not double-complete.
+		{"duplicate-frame", func(p *chaosProxy) { p.dupLeft = 1 }, 1, 1},
+		// Delay every result frame: pure latency, nothing else.
+		{"delay-frames", func(p *chaosProxy) { p.resultDelay = 100 * time.Millisecond }, 1, 0},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			co := NewCoordinator(harness.Quick(), testVersion)
+			addr, err := co.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := newChaosProxy(t, addr.String())
+			p.mu.Lock()
+			mode.arm(p)
+			p.mu.Unlock()
+
+			wait := joinAsync(t, p.addr(), WorkerOptions{Capacity: 2})
+			farmed := harness.NewRunner(harness.Quick())
+			farmed.Executor = co
+			farmed.Workers = 4
+			if err := farmed.RunAll(cells); err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range cells {
+				got, err := farmed.Run(c) // in-memory cache after RunAll
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !resultsEqual(got, want[i]) {
+					t.Errorf("%s: cell %s: farm result differs from serial:\n%+v\n%+v",
+						mode.name, cellLabel(c), got, want[i])
+				}
+			}
+			if err := co.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := wait(); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+			st := co.Stats()
+			if st.Joins < mode.minJoins {
+				t.Errorf("%s: joins=%d, want >= %d", mode.name, st.Joins, mode.minJoins)
+			}
+			if st.DuplicateResults < mode.wantDups {
+				t.Errorf("%s: duplicate results audited=%d, want >= %d", mode.name, st.DuplicateResults, mode.wantDups)
+			}
+		})
+	}
+}
+
+// TestHungWorkerLeaseExpires pins liveness piece one: a worker that
+// heartbeats (alive) but never answers (hung) trips the lease deadline —
+// the cell is requeued at the queue front, the worker's capacity is
+// docked, and a healthy worker completes the cell with serial-identical
+// bytes.
+func TestHungWorkerLeaseExpires(t *testing.T) {
+	var logMu sync.Mutex
+	var logs strings.Builder
+	co := NewCoordinator(harness.Quick(), testVersion)
+	co.LeaseTimeout = time.Second
+	co.HeartbeatInterval = 50 * time.Millisecond
+	co.Speculate = false // isolate the expiry path from speculation
+	co.Logf = func(format string, args ...any) {
+		logMu.Lock()
+		fmt.Fprintf(&logs, format+"\n", args...)
+		logMu.Unlock()
+	}
+	addr, err := co.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hung := startFakeWorker(t, addr.String(), 50*time.Millisecond)
+
+	cell := harness.Cell{System: harness.Redis, Nodes: 1, Workload: "W"}
+	resCh := make(chan harness.CellResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := co.ExecuteCell(cell)
+		resCh <- res
+		errCh <- err
+	}()
+	<-hung.leases // the hung worker holds the cell; it will never answer
+
+	wait := joinAsync(t, addr.String(), WorkerOptions{})
+	select {
+	case res := <-resCh:
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		want, err := harness.NewRunner(harness.Quick()).Run(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(res, want) {
+			t.Fatalf("expired-lease result differs from serial:\n%+v\n%+v", res, want)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("expired lease never completed")
+	}
+	// On a loaded host the healthy worker's own lease can expire too (its
+	// late answer still completes the task), so assert at-least, not
+	// exactly-one.
+	if st := co.Stats(); st.Expired < 1 || st.Requeued < 1 {
+		t.Fatalf("stats after expiry: %+v, want Expired>=1 Requeued>=1", st)
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Errorf("healthy worker: %v", err)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	got := logs.String()
+	if !strings.Contains(got, "missed the") || !strings.Contains(got, "capacity 1→0") {
+		t.Errorf("expiry log missing deadline/capacity-dock line:\n%s", got)
+	}
+}
+
+// TestSilentWorkerConnReaped pins the heartbeat's purpose: a worker that
+// goes completely silent (no close, no FIN — the TCP connection just
+// stops) is declared dead after the stale window and its lease requeued,
+// where a close-based design would wait forever.
+func TestSilentWorkerConnReaped(t *testing.T) {
+	co := NewCoordinator(harness.Quick(), testVersion)
+	co.HeartbeatInterval = 50 * time.Millisecond
+	co.Speculate = false
+	addr, err := co.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-rolled silent worker: handshake, take the lease, then nothing —
+	// no heartbeats, no reads, no close.
+	d, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent := newConn(d)
+	t.Cleanup(func() { silent.close() })
+	if err := silent.send(message{Type: msgHello, Version: testVersion, Capacity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := recvSkipHB(silent); err != nil || m.Type != msgHelloAck {
+		t.Fatalf("silent worker handshake: %+v %v", m, err)
+	}
+
+	cell := harness.Cell{System: harness.Redis, Nodes: 1, Workload: "R"}
+	resCh := make(chan harness.CellResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := co.ExecuteCell(cell)
+		resCh <- res
+		errCh <- err
+	}()
+	if m, err := recvSkipHB(silent); err != nil || m.Type != msgLease {
+		t.Fatalf("silent worker lease: %+v %v", m, err)
+	}
+	// From here the silent worker reads nothing and says nothing.
+
+	wait := joinAsync(t, addr.String(), WorkerOptions{})
+	select {
+	case res := <-resCh:
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		want, err := harness.NewRunner(harness.Quick()).Run(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(res, want) {
+			t.Fatalf("reaped-lease result differs from serial:\n%+v\n%+v", res, want)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("silent worker's lease never completed")
+	}
+	if st := co.Stats(); st.Requeued < 1 {
+		t.Fatalf("stats after silent reap: %+v, want Requeued>=1", st)
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Errorf("healthy worker: %v", err)
+	}
+}
+
+// TestSpeculationRacesStragglers pins tentpole piece two: with an empty
+// queue and a lease stuck on a straggler, an idle worker speculatively
+// re-runs the cell and its (identical, by seeding) result completes the
+// task without waiting out the lease deadline.
+func TestSpeculationRacesStragglers(t *testing.T) {
+	co := NewCoordinator(harness.Quick(), testVersion)
+	addr, err := co.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	straggler := startFakeWorker(t, addr.String(), 200*time.Millisecond)
+
+	cell := harness.Cell{System: harness.Redis, Nodes: 2, Workload: "R"}
+	resCh := make(chan harness.CellResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := co.ExecuteCell(cell)
+		resCh <- res
+		errCh <- err
+	}()
+	<-straggler.leases // straggler holds the only cell; queue is now empty
+
+	wait := joinAsync(t, addr.String(), WorkerOptions{})
+	select {
+	case res := <-resCh:
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		want, err := harness.NewRunner(harness.Quick()).Run(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(res, want) {
+			t.Fatalf("speculated result differs from serial:\n%+v\n%+v", res, want)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("speculation never completed the stuck cell")
+	}
+	if st := co.Stats(); st.Speculated != 1 {
+		t.Fatalf("stats after speculation: %+v, want Speculated=1", st)
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Errorf("idle worker: %v", err)
+	}
+}
+
+// TestSpeculationMismatchFailsRun pins the divergence tripwire: when a
+// duplicate answer for a cell does not byte-match the accepted one, the
+// farm refuses to pick a side — the run fails loudly through Err, new
+// ExecuteCell calls, and Close.
+func TestSpeculationMismatchFailsRun(t *testing.T) {
+	co := NewCoordinator(harness.Quick(), testVersion)
+	addr, err := co.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	liar := startFakeWorker(t, addr.String(), 200*time.Millisecond)
+
+	cell := harness.Cell{System: harness.Redis, Nodes: 1, Workload: "RW"}
+	resCh := make(chan harness.CellResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := co.ExecuteCell(cell)
+		resCh <- res
+		errCh <- err
+	}()
+	leaseMsg := <-liar.leases
+
+	wait := joinAsync(t, addr.String(), WorkerOptions{})
+	res := <-resCh // honest speculative answer accepted
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	// Now the straggler answers its old lease with doctored numbers.
+	doctored := res
+	doctored.Throughput += 1234.5
+	if err := liar.c.send(message{Type: msgResult, ID: leaseMsg.ID, Result: &doctored}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for co.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("divergent duplicate never failed the run")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := co.Err(); !strings.Contains(got.Error(), "cross-worker divergence") {
+		t.Fatalf("fatal error %q, want a cross-worker divergence", got)
+	}
+	if _, err := co.ExecuteCell(harness.Cell{System: harness.Redis, Nodes: 2, Workload: "R"}); err == nil ||
+		!strings.Contains(err.Error(), "cross-worker divergence") {
+		t.Fatalf("ExecuteCell after divergence: err=%v, want the fatal error", err)
+	}
+	if err := co.Close(); err == nil || !strings.Contains(err.Error(), "cross-worker divergence") {
+		t.Fatalf("Close after divergence: err=%v, want the fatal error", err)
+	}
+	wait() // drained or dropped either way; the run's verdict is what matters
+}
+
+// TestZeroWorkersFallsBackLocal pins graceful degradation: a coordinator
+// nobody joins executes queued cells itself through the CellExecutor seam
+// after FallbackAfter, producing serial-identical bytes.
+func TestZeroWorkersFallsBackLocal(t *testing.T) {
+	co := NewCoordinator(harness.Quick(), testVersion)
+	co.FallbackAfter = 50 * time.Millisecond
+	if _, err := co.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	cell := harness.Cell{System: harness.Redis, Nodes: 1, Workload: "R"}
+	res, err := co.ExecuteCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := harness.NewRunner(harness.Quick()).Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(res, want) {
+		t.Fatalf("local-fallback result differs from serial:\n%+v\n%+v", res, want)
+	}
+	if st := co.Stats(); st.LocalRuns != 1 {
+		t.Fatalf("stats after fallback: %+v, want LocalRuns=1", st)
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

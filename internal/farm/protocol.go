@@ -9,36 +9,65 @@
 // The wire protocol is JSON lines over TCP, one message per line:
 //
 //	worker → hello{version,capacity}
-//	coordinator → helloAck{config}   (or reject{reason}, then close)
+//	coordinator → helloAck{config,workerId,heartbeatMillis}
+//	                                 (or reject{reason}, then close)
 //	coordinator → lease{id,cell}     (at most `capacity` outstanding)
 //	worker → result{id,result}       (or error{id,reason})
+//	both → heartbeat                 (periodic; proves the peer is alive)
 //	coordinator → drain              (no more leases; finish and leave)
 //
 // The hello version is the binary's model hash (repro.ModelVersion): a
 // worker built from different model sources is rejected at the door, not
 // allowed to contribute silently different numbers.
+//
+// Failure semantics: both sides heartbeat every heartbeatMillis and treat
+// a connection silent for staleAfter() as dead; frames are capped at
+// maxLineBytes so a garbage peer cannot balloon either side's memory; and
+// every lease carries a coordinator-side deadline (see Coordinator). None
+// of this machinery can move a modeled number — a requeued or duplicated
+// cell re-derives the same seed and therefore the same bytes.
 package farm
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/harness"
 )
 
 // Message types.
 const (
-	msgHello    = "hello"
-	msgHelloAck = "helloAck"
-	msgReject   = "reject"
-	msgLease    = "lease"
-	msgResult   = "result"
-	msgError    = "error"
-	msgDrain    = "drain"
+	msgHello     = "hello"
+	msgHelloAck  = "helloAck"
+	msgReject    = "reject"
+	msgLease     = "lease"
+	msgResult    = "result"
+	msgError     = "error"
+	msgDrain     = "drain"
+	msgHeartbeat = "heartbeat"
 )
+
+// Protocol hardening bounds. A frame larger than maxLineBytes is a
+// protocol violation (a real CellResult with recovery windows is a few
+// hundred KB at most), and a handshake that stalls past handshakeTimeout
+// is abandoned so a silent dialer cannot pin a serveWorker goroutine.
+const (
+	maxLineBytes     = 8 << 20
+	handshakeTimeout = 10 * time.Second
+	sendTimeout      = 30 * time.Second
+	// idleMultiplier × heartbeat interval of silence marks a peer dead.
+	idleMultiplier = 5
+)
+
+// errLineTooLong reports a frame exceeding maxLineBytes; the connection
+// is unusable afterwards (the rest of the oversized frame would be read
+// as garbage), so both sides treat it as fatal to the session.
+var errLineTooLong = errors.New("farm: protocol frame exceeds size bound")
 
 // message is the single wire envelope; Type selects which fields are set.
 // One flat struct keeps the codec trivial and the protocol greppable.
@@ -49,6 +78,13 @@ type message struct {
 	Capacity int    `json:"capacity,omitempty"`
 	// helloAck
 	Config *harness.Config `json:"config,omitempty"`
+	// WorkerID is the coordinator-assigned stable identity echoed in its
+	// logs, so a worker can correlate its own stderr with the
+	// coordinator's requeue/speculation lines.
+	WorkerID int64 `json:"workerId,omitempty"`
+	// HeartbeatMillis is the coordinator's heartbeat cadence; the worker
+	// adopts it so both sides agree on what "silent too long" means.
+	HeartbeatMillis int64 `json:"heartbeatMillis,omitempty"`
 	// reject / error
 	Reason string `json:"reason,omitempty"`
 	// lease / result / error
@@ -59,15 +95,20 @@ type message struct {
 
 // conn frames messages as JSON lines over a net.Conn. Writes are
 // serialized (lease pushes and result reads race otherwise); reads are
-// single-reader by construction.
+// single-reader by construction. readTimeout, when set, bounds how long
+// recv waits for the next frame — with both sides heartbeating, a healthy
+// peer always produces a frame well inside the window, so a timeout means
+// the peer (or the path to it) is gone.
 type conn struct {
-	c   net.Conn
-	r   *bufio.Reader
-	wmu sync.Mutex
+	c           net.Conn
+	r           *bufio.Reader
+	wmu         sync.Mutex
+	readTimeout time.Duration
+	maxLine     int
 }
 
 func newConn(c net.Conn) *conn {
-	return &conn{c: c, r: bufio.NewReader(c)}
+	return &conn{c: c, r: bufio.NewReader(c), maxLine: maxLineBytes}
 }
 
 func (c *conn) send(m message) error {
@@ -78,14 +119,39 @@ func (c *conn) send(m message) error {
 	data = append(data, '\n')
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	// A peer that stopped draining its socket must not wedge the sender
+	// forever: a blocked write past the deadline reads as a dead peer.
+	c.c.SetWriteDeadline(time.Now().Add(sendTimeout))
 	if _, err := c.c.Write(data); err != nil {
 		return fmt.Errorf("farm: sending %s message: %w", m.Type, err)
 	}
 	return nil
 }
 
+// readLine reads one newline-terminated frame, refusing to buffer more
+// than maxLine bytes — an unframed or hostile peer cannot OOM this side.
+func (c *conn) readLine() ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := c.r.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > c.maxLine {
+			return nil, errLineTooLong
+		}
+		if err == nil {
+			return line, nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}
+
 func (c *conn) recv() (message, error) {
-	line, err := c.r.ReadBytes('\n')
+	if c.readTimeout > 0 {
+		c.c.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
+	line, err := c.readLine()
 	if err != nil {
 		return message{}, err
 	}
@@ -97,3 +163,53 @@ func (c *conn) recv() (message, error) {
 }
 
 func (c *conn) close() error { return c.c.Close() }
+
+// staleAfter converts a heartbeat interval into the silence window that
+// marks a peer dead.
+func staleAfter(heartbeat time.Duration) time.Duration {
+	return idleMultiplier * heartbeat
+}
+
+// resultsEqual compares two CellResults field-for-field, including the
+// windowed recovery curve through its Equal codec (pointer equality is
+// useless across a wire round trip). The farm uses it to byte-check
+// speculative duplicates against the accepted result — a free
+// cross-worker determinism audit, since cell seeds make honest answers
+// identical by construction.
+func resultsEqual(a, b harness.CellResult) bool {
+	aw, bw := a.Windows, b.Windows
+	a.Windows, b.Windows = nil, nil
+	if a != b {
+		return false
+	}
+	switch {
+	case aw == nil && bw == nil:
+		return true
+	case aw == nil || bw == nil:
+		return false
+	}
+	return aw.Equal(bw)
+}
+
+// cellLabel is a compact human label for log lines and errors (cache keys
+// are runner-internal; this is only for humans).
+func cellLabel(c harness.Cell) string {
+	name := c.Workload
+	if c.Mix.Name != "" {
+		name = c.Mix.Name
+	}
+	l := fmt.Sprintf("%s/%d/%s", c.System, c.Nodes, name)
+	if c.LoadOnly {
+		l += "/load"
+	}
+	if c.ClusterD {
+		l += "/D"
+	}
+	if c.Variants != "" {
+		l += "/" + c.Variants
+	}
+	if c.Faults != "" {
+		l += "{" + c.Faults + "}"
+	}
+	return l
+}

@@ -1,0 +1,195 @@
+package farm
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// TestCoordinatorSurvivesProtocolAbuse throws hostile byte streams at a
+// live coordinator: malformed JSON, an oversized frame, an unknown
+// message type, and a second hello mid-session. Each must get the abuser
+// disconnected — never a panic, never a wedged coordinator — and a
+// healthy worker must still be able to handshake afterwards.
+func TestCoordinatorSurvivesProtocolAbuse(t *testing.T) {
+	abuses := []struct {
+		name string
+		run  func(t *testing.T, addr string)
+	}{
+		{"malformed-json-hello", func(t *testing.T, addr string) {
+			rawAbuse(t, addr, []byte("@@@ not json at all\n"))
+		}},
+		{"oversized-line", func(t *testing.T, addr string) {
+			// One 9 MiB "frame" with no newline until the end: past the
+			// 8 MiB bound the coordinator must give up, not buffer on.
+			frame := bytes.Repeat([]byte{'a'}, 9<<20)
+			frame[len(frame)-1] = '\n'
+			rawAbuse(t, addr, frame)
+		}},
+		{"unknown-hello-type", func(t *testing.T, addr string) {
+			rawAbuse(t, addr, []byte(`{"type":"bogus"}`+"\n"))
+		}},
+		{"hello-mid-session", func(t *testing.T, addr string) {
+			// A correct handshake followed by a second hello (wrong
+			// version, even): not a legal mid-session message, so the
+			// coordinator must drop the connection.
+			d, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := newConn(d)
+			defer c.close()
+			c.send(message{Type: msgHello, Version: testVersion, Capacity: 1})
+			if m, err := recvSkipHB(c); err != nil || m.Type != msgHelloAck {
+				t.Fatalf("handshake: %+v %v", m, err)
+			}
+			c.send(message{Type: msgHello, Version: "some-other-model", Capacity: 1})
+			expectDisconnect(t, c)
+		}},
+	}
+	for _, tc := range abuses {
+		t.Run(tc.name, func(t *testing.T) {
+			co := NewCoordinator(harness.Quick(), testVersion)
+			co.HeartbeatInterval = 50 * time.Millisecond
+			addr, err := co.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer co.Close()
+
+			tc.run(t, addr.String())
+
+			// The coordinator must still serve well-behaved workers.
+			d, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := newConn(d)
+			defer c.close()
+			if err := c.send(message{Type: msgHello, Version: testVersion, Capacity: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if m, err := recvSkipHB(c); err != nil || m.Type != msgHelloAck {
+				t.Fatalf("healthy handshake after %s: %+v %v", tc.name, m, err)
+			}
+		})
+	}
+}
+
+// rawAbuse writes a hostile byte stream and asserts the peer disconnects.
+func rawAbuse(t *testing.T, addr string, payload []byte) {
+	t.Helper()
+	d, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(d)
+	defer c.close()
+	// The write itself may fail mid-stream (the peer is allowed to cut us
+	// off as soon as it smells garbage); only the disconnect matters.
+	d.Write(payload)
+	expectDisconnect(t, c)
+}
+
+// expectDisconnect asserts the peer closes the connection within a bound
+// (skipping any frames it sent before giving up on us).
+func expectDisconnect(t *testing.T, c *conn) {
+	t.Helper()
+	c.readTimeout = 15 * time.Second
+	for {
+		if _, err := c.recv(); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("peer kept the connection open after protocol abuse")
+			}
+			return
+		}
+	}
+}
+
+// TestWorkerSurvivesProtocolAbuse points a real worker at scripted
+// hostile coordinators: garbage frames, oversized frames, a helloAck
+// with no config, an unknown handshake type, and a mid-session reject.
+// Join must return an error in bounded time — never panic, never hang.
+func TestWorkerSurvivesProtocolAbuse(t *testing.T) {
+	cfg := harness.Quick()
+	ack := message{Type: msgHelloAck, Config: &cfg, WorkerID: 1, HeartbeatMillis: 50}
+	abuses := []struct {
+		name    string
+		script  func(t *testing.T, c *conn)
+		wantErr string // substring of Join's error; "" = any error
+	}{
+		{"garbage-after-ack", func(t *testing.T, c *conn) {
+			c.send(ack)
+			c.c.Write([]byte("@@@ not json\n"))
+		}, ""},
+		{"oversized-frame", func(t *testing.T, c *conn) {
+			c.send(ack)
+			frame := bytes.Repeat([]byte{'b'}, 9<<20)
+			frame[len(frame)-1] = '\n'
+			c.c.Write(frame)
+		}, ""},
+		{"ack-without-config", func(t *testing.T, c *conn) {
+			c.send(message{Type: msgHelloAck, WorkerID: 1})
+		}, "without a config"},
+		{"unknown-handshake-type", func(t *testing.T, c *conn) {
+			c.send(message{Type: "bogus"})
+		}, "unexpected handshake message"},
+		{"reject-mid-session", func(t *testing.T, c *conn) {
+			c.send(ack)
+			c.send(message{Type: msgReject, Reason: "scripted mid-session reject"})
+		}, "rejected this worker"},
+	}
+	for _, tc := range abuses {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() {
+				nc, err := ln.Accept()
+				// Serve exactly one session, then disappear: the worker's
+				// reconnect attempts must hit a dead address and exhaust
+				// the retry budget instead of looping forever.
+				ln.Close()
+				if err != nil {
+					return
+				}
+				c := newConn(nc)
+				if m, err := c.recv(); err != nil || m.Type != msgHello {
+					nc.Close()
+					return
+				}
+				tc.script(t, c)
+				// Leave the conn open; the worker decides to hang up.
+			}()
+
+			done := make(chan error, 1)
+			go func() {
+				done <- Join(ln.Addr().String(), WorkerOptions{
+					Version:    testVersion,
+					Capacity:   1,
+					MaxRetries: -1, // fail on the first failed reconnect
+				})
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatalf("%s: Join returned nil, want an error", tc.name)
+				}
+				if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("%s: Join error %q, want substring %q", tc.name, err, tc.wantErr)
+				}
+				if tc.name == "reject-mid-session" && !errors.Is(err, errRejected) {
+					t.Fatalf("reject error %q not marked permanent", err)
+				}
+			case <-time.After(60 * time.Second):
+				t.Fatalf("%s: Join hung", tc.name)
+			}
+		})
+	}
+}

@@ -1,12 +1,29 @@
 package farm
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/harness"
 )
+
+// Reconnect policy: a worker that loses its coordinator retries with
+// exponential backoff + jitter. The budget counts consecutive failed
+// attempts and resets on every successful handshake, so a flaky network
+// gets unlimited patience as long as it occasionally works.
+const (
+	backoffInitial    = 500 * time.Millisecond
+	backoffCap        = 15 * time.Second
+	defaultMaxRetries = 6
+)
+
+// errRejected marks a coordinator's deliberate refusal (version mismatch);
+// retrying cannot help, so the worker exits instead of hammering the door.
+var errRejected = errors.New("farm: coordinator rejected this worker")
 
 // WorkerOptions configures Join.
 type WorkerOptions struct {
@@ -21,12 +38,23 @@ type WorkerOptions struct {
 	Cache harness.ResultCache
 	// Logf, when set, receives one line per worker event.
 	Logf func(format string, args ...any)
+	// MaxRetries bounds consecutive failed reconnect attempts after a
+	// connection loss before Join gives up (the count resets on every
+	// successful handshake). 0 means 6; negative disables reconnecting.
+	MaxRetries int
 }
 
 // Join connects to a coordinator, executes leased cells with a local
 // runner built from the coordinator's config, and returns when the
-// coordinator drains the farm (or the connection drops). The error is nil
-// on a clean drain.
+// coordinator drains the farm. The error is nil on a clean drain.
+//
+// A lost connection is not fatal: Join redials with exponential backoff
+// and jitter, re-hellos, and resumes leasing. The runner (and its caches)
+// persists across sessions, so a cell that was mid-execution when the
+// link dropped and is re-leased afterwards joins the still-running
+// measurement through the singleflight layer instead of starting over.
+// Only the initial dial fails immediately — a worker that never reached
+// its coordinator is misconfigured, not unlucky.
 func Join(addr string, opts WorkerOptions) error {
 	capacity := opts.Capacity
 	if capacity < 1 {
@@ -36,68 +64,179 @@ func Join(addr string, opts WorkerOptions) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	maxRetries := opts.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = defaultMaxRetries
+	}
 
-	nc, err := net.Dial("tcp", addr)
+	w := &worker{
+		version:  opts.Version,
+		capacity: capacity,
+		cache:    opts.Cache,
+		logf:     logf,
+		sem:      make(chan struct{}, capacity),
+	}
+
+	first := true
+	failures := 0
+	backoff := backoffInitial
+	for {
+		outcome, err := w.session(addr)
+		switch outcome {
+		case sessionDrained:
+			return nil
+		case sessionPermanent:
+			return err
+		case sessionLost:
+			// We were in: reset the budget and start the backoff ladder
+			// from the bottom.
+			failures, backoff = 0, backoffInitial
+			logf("farm: connection to %s lost (%v); reconnecting", addr, err)
+		case sessionFailed:
+			if first {
+				return err
+			}
+			failures++
+			if failures > maxRetries {
+				return fmt.Errorf("farm: giving up on %s after %d consecutive failed reconnects: %w",
+					addr, failures-1, err)
+			}
+			logf("farm: reconnect to %s failed (attempt %d/%d): %v", addr, failures, maxRetries, err)
+		}
+		first = false
+		// Jittered sleep in [backoff/2, backoff): workers cut by the same
+		// network event must not redial in lockstep.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)))
+		time.Sleep(d)
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+	}
+}
+
+type sessionOutcome int
+
+const (
+	sessionDrained   sessionOutcome = iota // clean drain: Join returns nil
+	sessionPermanent                       // rejected: retrying cannot help
+	sessionLost                            // joined, then lost: reconnect, fresh budget
+	sessionFailed                          // dial or handshake failed: counts against the budget
+)
+
+// worker is the state that survives reconnects: the runner (with its
+// singleflight and caches), the capacity semaphore, and the in-flight
+// waitgroup. In-flight cells keep running across a connection loss; their
+// sends to the dead conn fail silently, and a re-lease of the same cell
+// on the next session joins the running measurement via singleflight.
+type worker struct {
+	version  string
+	capacity int
+	cache    harness.ResultCache
+	logf     func(format string, args ...any)
+
+	runner      *harness.Runner
+	fingerprint string
+	sem         chan struct{}
+	wg          sync.WaitGroup
+}
+
+// session runs one connection lifetime: dial, hello, lease/execute until
+// drain or loss.
+func (w *worker) session(addr string) (sessionOutcome, error) {
+	nc, err := net.DialTimeout("tcp", addr, handshakeTimeout)
 	if err != nil {
-		return fmt.Errorf("farm: joining %s: %w", addr, err)
+		return sessionFailed, fmt.Errorf("farm: joining %s: %w", addr, err)
 	}
 	c := newConn(nc)
 	defer c.close()
 
-	if err := c.send(message{Type: msgHello, Version: opts.Version, Capacity: capacity}); err != nil {
-		return err
+	c.readTimeout = handshakeTimeout
+	if err := c.send(message{Type: msgHello, Version: w.version, Capacity: w.capacity}); err != nil {
+		return sessionFailed, err
 	}
 	ack, err := c.recv()
 	if err != nil {
-		return fmt.Errorf("farm: handshake with %s: %w", addr, err)
+		return sessionFailed, fmt.Errorf("farm: handshake with %s: %w", addr, err)
 	}
 	switch ack.Type {
 	case msgReject:
-		return fmt.Errorf("farm: coordinator %s rejected this worker: %s", addr, ack.Reason)
+		return sessionPermanent, fmt.Errorf("%w (%s): %s", errRejected, addr, ack.Reason)
 	case msgHelloAck:
 		if ack.Config == nil {
-			return fmt.Errorf("farm: coordinator %s sent helloAck without a config", addr)
+			return sessionFailed, fmt.Errorf("farm: coordinator %s sent helloAck without a config", addr)
 		}
 	default:
-		return fmt.Errorf("farm: unexpected handshake message %q from %s", ack.Type, addr)
+		return sessionFailed, fmt.Errorf("farm: unexpected handshake message %q from %s", ack.Type, addr)
 	}
 
-	// The worker's runner mirrors the coordinator's experiment exactly:
-	// same config, so the same cell keys and the same seeds. Leases run
-	// concurrently up to capacity; the runner's own caches mean repeated
-	// leases of one cell (possible after a requeue) measure once.
-	runner := harness.NewRunner(*ack.Config)
-	runner.Workers = capacity
-	runner.Cache = opts.Cache
-	logf("farm: joined %s (capacity %d, config %s)", addr, capacity, ack.Config.Fingerprint())
+	hb := time.Duration(ack.HeartbeatMillis) * time.Millisecond
+	if hb <= 0 {
+		hb = time.Second
+	}
+	c.readTimeout = staleAfter(hb)
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, capacity)
+	// The worker's runner mirrors the coordinator's experiment exactly:
+	// same config, so the same cell keys and the same seeds. It is
+	// rebuilt only when the config actually changes, so reconnecting to
+	// the same experiment keeps every cached and in-flight measurement.
+	if fp := ack.Config.Fingerprint(); w.runner == nil || fp != w.fingerprint {
+		w.runner = harness.NewRunner(*ack.Config)
+		w.runner.Workers = w.capacity
+		w.runner.Cache = w.cache
+		w.fingerprint = fp
+	}
+	w.logf("farm: joined %s as w%d (capacity %d, config %s)", addr, ack.WorkerID, w.capacity, w.fingerprint)
+
+	stopHB := make(chan struct{})
+	defer close(stopHB)
+	go func() {
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-t.C:
+				if c.send(message{Type: msgHeartbeat}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
 	for {
 		m, err := c.recv()
 		if err != nil {
-			// Connection gone: the coordinator died or dropped us. Finish
-			// what's running (results have nowhere to go, but the runner
-			// cache keeps them for a future lease) and report the cut.
-			wg.Wait()
-			return fmt.Errorf("farm: connection to %s lost: %w", addr, err)
+			// Connection gone. Do NOT wait for in-flight cells: reconnect
+			// immediately so the coordinator sees this worker again before
+			// it expires the leases; re-leased cells join the running
+			// measurements through singleflight.
+			return sessionLost, err
 		}
 		switch m.Type {
+		case msgHeartbeat:
+			// recv refreshed the read deadline; nothing else to do.
 		case msgDrain:
-			wg.Wait()
-			logf("farm: drained by %s", addr)
-			return nil
+			w.wg.Wait()
+			w.logf("farm: drained by %s", addr)
+			return sessionDrained, nil
+		case msgReject:
+			return sessionPermanent, fmt.Errorf("%w (%s) mid-session: %s", errRejected, addr, m.Reason)
 		case msgLease:
 			if m.Cell == nil {
-				return fmt.Errorf("farm: lease %d from %s has no cell", m.ID, addr)
+				return sessionLost, fmt.Errorf("farm: lease %d from %s has no cell", m.ID, addr)
 			}
 			id, cell := m.ID, *m.Cell
-			sem <- struct{}{}
-			wg.Add(1)
+			runner := w.runner
+			w.sem <- struct{}{}
+			w.wg.Add(1)
 			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
+				defer w.wg.Done()
+				defer func() { <-w.sem }()
 				res, err := runner.Run(cell)
+				// c is this session's conn: a result finishing after a
+				// reconnect sends into the dead socket and is dropped —
+				// the coordinator re-leases and singleflight re-serves it.
 				if err != nil {
 					c.send(message{Type: msgError, ID: id, Reason: err.Error()})
 					return
@@ -105,7 +244,7 @@ func Join(addr string, opts WorkerOptions) error {
 				c.send(message{Type: msgResult, ID: id, Result: &res})
 			}()
 		default:
-			return fmt.Errorf("farm: unexpected message %q from %s", m.Type, addr)
+			return sessionLost, fmt.Errorf("farm: unexpected message %q from %s", m.Type, addr)
 		}
 	}
 }

@@ -155,3 +155,31 @@ func TestExecutorDispatch(t *testing.T) {
 		t.Fatalf("warm run with executor: executed=%d hits=%d, want 0/1", r2.Executed(), r2.CacheHits())
 	}
 }
+
+// TestRunnerIsCellExecutor pins the local-fallback seam: a plain Runner
+// satisfies CellExecutor, and ExecuteCell returns the same (cached,
+// singleflighted) result as Run — so a farm coordinator can degrade to
+// local execution through the exact interface workers implement.
+func TestRunnerIsCellExecutor(t *testing.T) {
+	var exec CellExecutor = NewRunner(Quick())
+	cell := Cell{System: Redis, Nodes: 2, Workload: "W"}
+	got, err := exec.ExecuteCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewRunner(Quick()).Run(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("ExecuteCell differs from Run:\n%+v\n%+v", got, want)
+	}
+	// ExecuteCell shares the in-memory cell cache with Run.
+	r := exec.(*Runner)
+	if again, _ := r.Run(cell); again != got {
+		t.Fatal("Run after ExecuteCell re-measured or diverged")
+	}
+	if r.Executed() != 1 {
+		t.Fatalf("executed %d cells across ExecuteCell+Run, want 1", r.Executed())
+	}
+}

@@ -432,6 +432,16 @@ func (r *Runner) LoadOnly(sys System, nodes int) (CellResult, error) {
 	return r.Run(Cell{System: sys, Nodes: nodes, LoadOnly: true})
 }
 
+// ExecuteCell implements CellExecutor: a local, cached, singleflighted
+// measurement with no progress emission. It lets a plain Runner stand in
+// wherever a remote executor is expected — in particular as a farm
+// coordinator's local fallback when no workers are alive. Never set a
+// runner's own Executor to the same runner: resolveCell would recurse.
+func (r *Runner) ExecuteCell(c Cell) (CellResult, error) {
+	res, _, err := r.do(c)
+	return res, err
+}
+
 // do resolves one cell through the cache with singleflight semantics:
 // concurrent calls for the same cell share one measurement. It returns the
 // cell's progress line when this call did the work ("" on a cache hit or
