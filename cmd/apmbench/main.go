@@ -8,6 +8,7 @@
 //	apmbench -figure all            # everything (takes a while)
 //	apmbench -figure table1         # the workload table
 //	apmbench -figure ablation-all   # design-choice ablations
+//	apmbench -figure apm-dashboard  # analytic query layer (APM read path)
 //	apmbench -scenario grid.json    # a user-defined scenario grid
 //	apmbench -scale 0.02 -measure 4 # higher fidelity
 //	apmbench -parallel 1            # serial cell execution
@@ -211,6 +212,7 @@ func main() {
 	if *list {
 		fmt.Println("figures: table1", strings.Join(harness.FigureOrder, " "))
 		fmt.Println("ablations:", strings.Join(ablationNames(r), " "))
+		fmt.Println("extras: apm-dashboard")
 		return
 	}
 
@@ -255,6 +257,17 @@ func main() {
 			fmt.Println()
 		}
 	default:
+		if *figure == "apm-dashboard" {
+			// The analytic-read extra: a built-in query scenario, kept out
+			// of FigureOrder so `-figure all` output stays byte-stable.
+			fig, err := r.RunScenario(harness.APMDashboard(r.Cfg.NodeCounts))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "apmbench: %s: %v\n", *figure, err)
+				os.Exit(1)
+			}
+			emit(fig)
+			return
+		}
 		if strings.HasPrefix(*figure, "ablation-") {
 			runAblation(r, *figure)
 			return

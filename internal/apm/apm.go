@@ -179,7 +179,10 @@ func Window(p *sim.Proc, s store.Store, metric string, from, to int64) (WindowSt
 	var sum float64
 	first := true
 	for {
-		recs, err := s.Scan(p, start, 60)
+		// One page per scan RPC (the classic paginated range read); each
+		// page is drained via its cursor, charging exactly what the
+		// materialized per-page scan charged.
+		recs, err := store.ScanAll(p, s, start, 60)
 		if err != nil {
 			return WindowStats{}, err
 		}

@@ -526,32 +526,75 @@ func (t *Tree) splitInternal(n *node, io *IOStats) (kref, pfx, *node) {
 	return sep, sepPfx, right
 }
 
-// Scan returns up to count entries with keys >= start, walking the leaf
-// chain (one page touch per leaf visited).
-func (t *Tree) Scan(start string, count int) ([]Entry, IOStats) {
+// Cursor streams entries with keys >= start in key order, walking the leaf
+// chain. The root-to-leaf descent is paid when the cursor is opened; each
+// leaf pays its page touch when the walk first reads from it, so a cursor
+// abandoned early touches exactly the pages a count-bounded Scan would
+// have. IO reports the traffic accrued so far.
+type Cursor struct {
+	t       *Tree
+	n       *node
+	i       int
+	start   string
+	kp      pfx
+	started bool
+	io      IOStats
+}
+
+// NewCursor opens a cursor positioned before the first entry with key >=
+// start, charging the index descent.
+func (t *Tree) NewCursor(start string) *Cursor {
 	t.seal()
-	var io IOStats
-	kp := prefixOf(start)
+	c := &Cursor{t: t, start: start, kp: prefixOf(start)}
 	n := t.root
 	for !n.leaf {
-		t.touch(&io, n, false)
-		n = n.children[t.searchGT(n, start, kp)]
+		t.touch(&c.io, n, false)
+		n = n.children[t.searchGT(n, start, c.kp)]
 	}
+	c.n = n
+	return c
+}
+
+// Next advances to the next entry and reports whether one exists.
+func (c *Cursor) Next() bool {
+	if !c.started {
+		c.started = true
+		c.t.touch(&c.io, c.n, false)
+		c.i = c.t.searchGE(c.n, c.start, c.kp)
+	} else {
+		c.i++
+	}
+	for c.i >= len(c.n.keys) {
+		if c.n.next == nil {
+			return false
+		}
+		c.n = c.n.next
+		c.t.touch(&c.io, c.n, false)
+		c.i = 0
+	}
+	return true
+}
+
+// Key returns the current entry's key; valid after Next reports true.
+func (c *Cursor) Key() string { return c.t.keyStr(c.n.keys[c.i]) }
+
+// Fields returns the current entry's field view; valid after Next reports
+// true.
+func (c *Cursor) Fields() slab.FieldsView { return c.t.view(c.n.vals[c.i]) }
+
+// IO returns the page traffic the cursor has accrued so far.
+func (c *Cursor) IO() IOStats { return c.io }
+
+// Scan returns up to count entries with keys >= start, walking the leaf
+// chain (one page touch per leaf visited): a drained Cursor, kept for
+// callers that want the materialized form.
+func (t *Tree) Scan(start string, count int) ([]Entry, IOStats) {
+	c := t.NewCursor(start)
 	var out []Entry
-	first := true
-	for n != nil && len(out) < count {
-		t.touch(&io, n, false)
-		i := 0
-		if first {
-			i = t.searchGE(n, start, kp)
-			first = false
-		}
-		for ; i < len(n.keys) && len(out) < count; i++ {
-			out = append(out, Entry{Key: t.keyStr(n.keys[i]), Fields: t.view(n.vals[i])})
-		}
-		n = n.next
+	for len(out) < count && c.Next() {
+		out = append(out, Entry{Key: c.Key(), Fields: c.Fields()})
 	}
-	return out, io
+	return out, c.IO()
 }
 
 // ScanAllFrom visits every entry with key >= start without materializing

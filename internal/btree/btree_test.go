@@ -470,3 +470,48 @@ func BenchmarkGet(b *testing.B) {
 		tr.Get(fmt.Sprintf("key%09d", i%100000))
 	}
 }
+
+func TestCursorMatchesScanEntriesAndIO(t *testing.T) {
+	build := func() *Tree {
+		tr := New(small())
+		for i := 0; i < 100; i++ {
+			tr.Put(fmt.Sprintf("k%04d", i), fields("v"))
+		}
+		return tr
+	}
+	a, b := build(), build()
+	got, scanIO := a.Scan("k0030", 25)
+	c := b.NewCursor("k0030")
+	var keys []string
+	for len(keys) < 25 && c.Next() {
+		keys = append(keys, c.Key())
+	}
+	if len(got) != 25 || len(keys) != 25 {
+		t.Fatalf("scan %d entries, cursor %d entries, want 25", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i].Key != keys[i] {
+			t.Fatalf("entry %d: scan %s, cursor %s", i, got[i].Key, keys[i])
+		}
+	}
+	if scanIO != c.IO() {
+		t.Fatalf("IO diverges: scan %+v, cursor %+v", scanIO, c.IO())
+	}
+}
+
+func TestCursorZeroAndTailEdges(t *testing.T) {
+	tr := New(small())
+	for i := 0; i < 20; i++ {
+		tr.Put(fmt.Sprintf("k%04d", i), fields("v"))
+	}
+	// Zero-count scan touches only the descent: an unread cursor matches.
+	_, zeroIO := tr.Scan("k0005", 0)
+	if unread := tr.NewCursor("k0005").IO(); zeroIO != unread {
+		t.Fatalf("count=0 scan IO %+v != unread cursor IO %+v", zeroIO, unread)
+	}
+	// A cursor past the last key ends cleanly.
+	c := tr.NewCursor("zzz")
+	if c.Next() {
+		t.Fatalf("cursor past the tail yielded %s", c.Key())
+	}
+}

@@ -121,7 +121,7 @@ func (b *Benchmark) RunAtRate(workload string, targetOpsPerSec float64) (*Result
 	if err != nil {
 		return nil, err
 	}
-	if wl.HasScans() && !b.dep.Store.SupportsScan() {
+	if wl.HasScans() && !b.dep.Store.Caps().Scans {
 		return nil, store.ErrScansUnsupported
 	}
 	clients := b.cfg.Clients

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -135,6 +136,14 @@ type Cell struct {
 	// fractions of warmup+measure. Empty means no faults; faulted cells
 	// also collect windowed quantiles/availability.
 	Faults string
+	// Queries, when set, makes this an analytic query cell: the canonical
+	// encoding of a query mix (query.Mix.String(), round-tripped by
+	// query.ParseMix) run by dashboard clients against the time-ordered APM
+	// measurement grid instead of a YCSB workload. Workload/Mix are then
+	// ignored. Carrying the canonical string — not the spec structs — keeps
+	// Cell a comparable value type and makes the string itself the cache
+	// and wire identity.
+	Queries string
 }
 
 // workload resolves the cell's operation mix: the inline Mix when set,
@@ -351,6 +360,9 @@ func (r *Runner) key(c Cell) string {
 	if c.Faults != "" {
 		k += "/flt=" + c.Faults
 	}
+	if c.Queries != "" {
+		k += "/q=" + c.Queries
+	}
 	return k
 }
 
@@ -413,6 +425,25 @@ func (r *Runner) reportMemStats(key string, s store.Store, records int64) {
 	}
 	r.progressMu.Lock()
 	r.MemStats(line)
+	r.progressMu.Unlock()
+}
+
+// reportScanStats emits one diagnostic line per measured cell whose scans
+// touched an LSM store: how many sstables the scans positioned read
+// cursors on and how many were skipped outright by key-range metadata
+// (lsm.ScanStats). It shares the -memstats hook — host-side observation on
+// stderr — and stays silent when the store keeps no such counters or no
+// scan ran, so load-only grids keep their exact historical stderr.
+func (r *Runner) reportScanStats(key string, s store.Store) {
+	if r.MemStats == nil {
+		return
+	}
+	positioned, pruned, ok := store.ScanStatsOf(s)
+	if !ok || positioned+pruned == 0 {
+		return
+	}
+	r.progressMu.Lock()
+	r.MemStats(fmt.Sprintf("scanstats %s: tables-positioned=%d tables-pruned=%d", key, positioned, pruned))
 	r.progressMu.Unlock()
 }
 
@@ -575,6 +606,9 @@ func (r *Runner) resolve(c Cell) (resolved, error) {
 }
 
 func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
+	if c.Queries != "" {
+		return r.runQueries(c, key, rep)
+	}
 	rv, err := r.resolve(c)
 	if err != nil {
 		return CellResult{}, err
@@ -622,6 +656,7 @@ func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
 	if err != nil {
 		return CellResult{}, err
 	}
+	r.reportScanStats(key, dep.Store)
 	return CellResult{
 		Cell:                c,
 		Throughput:          res.Throughput(),
@@ -634,6 +669,57 @@ func (r *Runner) run(c Cell, key string, rep int64) (CellResult, error) {
 		Timeouts:            res.Timeouts(),
 		DiskBytesPaperScale: float64(dep.Store.DiskUsage()) / r.Cfg.Scale,
 		Windows:             res.Windows,
+	}, nil
+}
+
+// runQueries measures one repetition of an analytic query cell: deploy the
+// system, bulk-load the time-ordered APM measurement grid (sized like the
+// cell's YCSB dataset would be), and run the dashboard query mix against
+// it. Query latencies land on the scan metric — a query is a scan
+// pipeline — so scenario figures read them through scan-latency.
+func (r *Runner) runQueries(c Cell, key string, rep int64) (CellResult, error) {
+	mix, err := query.ParseMix(c.Queries)
+	if err != nil {
+		return CellResult{}, err
+	}
+	// Dashboard sessions, not YCSB load generators: a handful of
+	// concurrent readers per node (each query already fans out into tens
+	// of range scans), overridable via the conns variant like any cell.
+	clients := 4 * c.Nodes
+	if perNode, ok, err := variantInt(c.Variants, "conns"); err != nil {
+		return CellResult{}, err
+	} else if ok {
+		clients = perNode * c.Nodes
+	}
+	dep, err := DeployVariants(r.cellSeed(key, rep), c.System, clusterSpecFor(c, r.Cfg), r.Cfg.Scale, c.Variants)
+	if err != nil {
+		return CellResult{}, err
+	}
+	ds := query.SizeDataset(recordsFor(c, r.Cfg))
+	if err := ds.Load(dep.Store); err != nil {
+		return CellResult{}, err
+	}
+	r.reportMemStats(key, dep.Store, ds.Records())
+	res, err := query.Run(dep.Engine, query.RunConfig{
+		Store:   dep.Store,
+		Dataset: ds,
+		Mix:     mix,
+		Clients: clients,
+		Warmup:  r.Cfg.Warmup,
+		Measure: r.Cfg.Measure,
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	r.reportScanStats(key, dep.Store)
+	return CellResult{
+		Cell:                c,
+		Throughput:          res.Throughput(),
+		ScanLat:             res.MeanLatency(stats.OpScan),
+		Ops:                 res.Ops(),
+		Errors:              res.Errors(),
+		Timeouts:            res.Timeouts(),
+		DiskBytesPaperScale: float64(dep.Store.DiskUsage()) / r.Cfg.Scale,
 	}, nil
 }
 
@@ -668,6 +754,9 @@ func progressLine(c Cell, res CellResult) string {
 	if c.LoadOnly {
 		line = fmt.Sprintf("%-10s n=%-2d load disk=%8.2fGB (paper scale)",
 			c.System, c.Nodes, res.DiskBytesPaperScale/1e9)
+	} else if c.Queries != "" {
+		line = fmt.Sprintf("%-10s n=%-2d %-4s tput=%9.0f qry/s query=%9v err=%d",
+			c.System, c.Nodes, "qry", res.Throughput, res.ScanLat, res.Errors)
 	} else {
 		line = fmt.Sprintf("%-10s n=%-2d %-4s tput=%9.0f ops/s read=%9v write=%9v scan=%9v err=%d",
 			c.System, c.Nodes, c.workloadName(), res.Throughput, res.ReadLat, res.WriteLat, res.ScanLat, res.Errors)

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/query"
+	"repro/internal/sim"
 	"repro/internal/ycsb"
 )
 
@@ -127,6 +130,94 @@ type Scenario struct {
 	// seed under extended keys and report per-window recovery curves in
 	// the figure appendix.
 	Faults []ScenarioFault `json:"faults,omitempty"`
+	// Queries declares an analytic dashboard mix (internal/query): the grid
+	// then measures query cells — per-metric range scans piped through
+	// filter/group-by/aggregate operators over the time-ordered APM
+	// measurement grid — instead of YCSB operation cells. Mutually
+	// exclusive with workloads, loadOnly and faults; systems without scan
+	// support (Voldemort) are skipped like scan workloads.
+	Queries []query.Spec `json:"queries,omitempty"`
+	// Hardware, when set, overrides every cell's cluster hardware with a
+	// custom spec (unset fields inherit the base template). Overridden
+	// cells cache and seed under extended keys, so they never collide with
+	// figure cells.
+	Hardware *ScenarioHardware `json:"hardware,omitempty"`
+}
+
+// ScenarioHardware is a custom cluster spec in scenario JSON: a named
+// hardware profile starting from a base template ("M" default, or "D")
+// with any subset of knobs overridden. It maps onto cluster.Spec — the
+// same struct the paper presets use — so a custom profile flows through
+// deployment, scaling and cache keys exactly like Cluster M/D.
+type ScenarioHardware struct {
+	Name string `json:"name"`
+	// Base picks the template supplying unset fields: "M" (default) or "D".
+	Base string `json:"base,omitempty"`
+	// Node knobs (zero = inherit the base template's value).
+	Cores      int     `json:"cores,omitempty"`
+	RAMGB      float64 `json:"ramGB,omitempty"`
+	Disks      int     `json:"disks,omitempty"`
+	DiskSeekMs float64 `json:"diskSeekMs,omitempty"`
+	DiskMBps   float64 `json:"diskMBps,omitempty"`
+	DiskGB     float64 `json:"diskGB,omitempty"`
+	// Network knobs.
+	NetLatencyUs float64 `json:"netLatencyUs,omitempty"`
+	NetMBps      float64 `json:"netMBps,omitempty"`
+}
+
+// toSpec resolves the profile into a full cluster.Spec (Nodes left zero:
+// the cell's node count wins, as with any Spec override).
+func (h *ScenarioHardware) toSpec() (cluster.Spec, error) {
+	if h.Name == "" {
+		return cluster.Spec{}, fmt.Errorf("harness: scenario hardware needs a name")
+	}
+	var s cluster.Spec
+	switch h.Base {
+	case "", "M":
+		s = cluster.ClusterM(0)
+	case "D":
+		s = cluster.ClusterD(0)
+	default:
+		return cluster.Spec{}, fmt.Errorf("harness: scenario hardware %s: unknown base %q (want M or D)", h.Name, h.Base)
+	}
+	s.Name = h.Name
+	for _, k := range []struct {
+		name string
+		v    float64
+	}{
+		{"cores", float64(h.Cores)}, {"ramGB", h.RAMGB}, {"disks", float64(h.Disks)},
+		{"diskSeekMs", h.DiskSeekMs}, {"diskMBps", h.DiskMBps}, {"diskGB", h.DiskGB},
+		{"netLatencyUs", h.NetLatencyUs}, {"netMBps", h.NetMBps},
+	} {
+		if k.v < 0 {
+			return cluster.Spec{}, fmt.Errorf("harness: scenario hardware %s: negative %s", h.Name, k.name)
+		}
+	}
+	if h.Cores > 0 {
+		s.Node.Cores = h.Cores
+	}
+	if h.RAMGB > 0 {
+		s.Node.RAMBytes = int64(h.RAMGB * float64(1<<30))
+	}
+	if h.Disks > 0 {
+		s.Node.Disks = h.Disks
+	}
+	if h.DiskSeekMs > 0 {
+		s.Node.DiskSeek = sim.Time(h.DiskSeekMs * float64(sim.Millisecond))
+	}
+	if h.DiskMBps > 0 {
+		s.Node.DiskMBps = h.DiskMBps
+	}
+	if h.DiskGB > 0 {
+		s.Node.DiskBytes = int64(h.DiskGB * float64(1<<30))
+	}
+	if h.NetLatencyUs > 0 {
+		s.Net.BaseLatency = sim.Time(h.NetLatencyUs * float64(sim.Microsecond))
+	}
+	if h.NetMBps > 0 {
+		s.Net.MBps = h.NetMBps
+	}
+	return s, nil
 }
 
 // ScenarioFault is one fault event: "kill-node", "restart-node",
@@ -224,8 +315,32 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("harness: scenario %s: node count %d < 1", s.Name, n)
 		}
 	}
-	if !s.LoadOnly && len(s.Workloads) == 0 {
-		return fmt.Errorf("harness: scenario %s lists no workloads (set loadOnly for load-only grids)", s.Name)
+	if !s.LoadOnly && len(s.Workloads) == 0 && len(s.Queries) == 0 {
+		return fmt.Errorf("harness: scenario %s lists no workloads (set loadOnly for load-only grids, or queries for analytic grids)", s.Name)
+	}
+	if len(s.Queries) > 0 {
+		if len(s.Workloads) > 0 {
+			return fmt.Errorf("harness: scenario %s: queries and workloads are mutually exclusive", s.Name)
+		}
+		if s.LoadOnly {
+			return fmt.Errorf("harness: scenario %s: queries need a measured run, not loadOnly", s.Name)
+		}
+		if len(s.Faults) > 0 {
+			return fmt.Errorf("harness: scenario %s: faults apply to workload grids, not query grids", s.Name)
+		}
+		switch s.Metric {
+		case "", "throughput", "scan-latency":
+		default:
+			return fmt.Errorf("harness: scenario %s: query grids measure throughput or scan-latency, not %q", s.Name, s.Metric)
+		}
+		if _, err := s.queryMix(); err != nil {
+			return err
+		}
+	}
+	if s.Hardware != nil {
+		if _, err := s.Hardware.toSpec(); err != nil {
+			return err
+		}
 	}
 	for _, w := range s.Workloads {
 		if _, err := w.toWorkload(); err != nil {
@@ -297,6 +412,16 @@ type seriesSpec struct {
 	xs    []float64
 }
 
+// queryMix normalizes a copy of the scenario's query specs into a mix.
+func (s *Scenario) queryMix() (query.Mix, error) {
+	m := make(query.Mix, len(s.Queries))
+	copy(m, s.Queries)
+	if err := m.Normalize(); err != nil {
+		return nil, fmt.Errorf("harness: scenario %s: %w", s.Name, err)
+	}
+	return m, nil
+}
+
 // series expands the grid, skipping (system, workload) pairs the system
 // cannot run (e.g. scan mixes on Voldemort), mirroring how the paper's
 // scan figures exclude it. Skipped pairs are reported so a scenario author
@@ -314,9 +439,19 @@ func (s *Scenario) series() ([]seriesSpec, []string, error) {
 	if sched != nil {
 		faults = sched.String()
 	}
+	var hw cluster.Spec
+	if s.Hardware != nil {
+		hw, err = s.Hardware.toSpec()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	variants := s.Variants
 	if len(variants) == 0 {
 		variants = []string{""}
+	}
+	if len(s.Queries) > 0 {
+		return s.querySeries(hw, variants)
 	}
 	var specs []seriesSpec
 	var skipped []string
@@ -346,6 +481,7 @@ func (s *Scenario) series() ([]seriesSpec, []string, error) {
 						System:         sys,
 						Nodes:          n,
 						ClusterD:       s.Cluster == "D",
+						Spec:           hw,
 						Variants:       v,
 						LoadOnly:       s.LoadOnly,
 						RecordsPerNode: s.RecordsPerNode,
@@ -362,6 +498,44 @@ func (s *Scenario) series() ([]seriesSpec, []string, error) {
 				}
 				specs = append(specs, spec)
 			}
+		}
+	}
+	return specs, skipped, nil
+}
+
+// querySeries expands an analytic grid: one series per system × variant
+// combo, every cell carrying the whole mix's canonical encoding (the mix
+// is weighted within a cell, like an operation mix — not one series per
+// query). Systems without scan support are skipped like scan workloads.
+func (s *Scenario) querySeries(hw cluster.Spec, variants []string) ([]seriesSpec, []string, error) {
+	mix, err := s.queryMix()
+	if err != nil {
+		return nil, nil, err
+	}
+	enc := mix.String()
+	var specs []seriesSpec
+	var skipped []string
+	for _, sys := range s.Systems {
+		if !SupportsQueries(sys) {
+			skipped = append(skipped, fmt.Sprintf("%s/queries", sys))
+			continue
+		}
+		for _, v := range variants {
+			spec := seriesSpec{label: seriesLabel(sys, "queries", v)}
+			for _, n := range s.Nodes {
+				spec.cells = append(spec.cells, Cell{
+					System:         sys,
+					Nodes:          n,
+					ClusterD:       s.Cluster == "D",
+					Spec:           hw,
+					Variants:       v,
+					RecordsPerNode: s.RecordsPerNode,
+					Repetitions:    s.Repetitions,
+					Queries:        enc,
+				})
+				spec.xs = append(spec.xs, float64(n))
+			}
+			specs = append(specs, spec)
 		}
 	}
 	return specs, skipped, nil

@@ -438,6 +438,11 @@ func Conns(sys System, nodes int, clusterD bool) int {
 // (the paper's Voldemort YCSB client had no scan support, §5.4).
 func SupportsScans(sys System) bool { return sys != Voldemort }
 
+// SupportsQueries reports whether the system can serve the analytic query
+// layer (internal/query): its operator pipeline reads through the cursor
+// scan path, so exactly the scan-capable systems qualify.
+func SupportsQueries(sys System) bool { return SupportsScans(sys) }
+
 // SupportsUpdates reports whether the system's model covers in-place
 // updates: since the B-tree stores gained modeled read-modify-write paths,
 // all six systems do. The LSM stores (Cassandra, HBase) physically upsert,

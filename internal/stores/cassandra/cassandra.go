@@ -217,8 +217,20 @@ func (s *Store) SlabBytes() int64 {
 	return total
 }
 
-// SupportsScan implements store.Store.
-func (s *Store) SupportsScan() bool { return true }
+// Caps implements store.Store: range slices are supported and return
+// key-ordered rows, so the query layer can plan against them.
+func (s *Store) Caps() store.Caps { return store.Caps{Scans: true, Queries: true} }
+
+// ScanStats implements store.ScanStatsReporter: scan-path positioning and
+// pruning counters summed across every node's LSM tree.
+func (s *Store) ScanStats() (positioned, pruned int64) {
+	for _, n := range s.nodes {
+		pos, pr := n.tree.ScanStats()
+		positioned += pos
+		pruned += pr
+	}
+	return positioned, pruned
+}
 
 // coordinator picks the node the client is connected to for this op. With
 // nodes down, the client's connection pool skips them: the single random
@@ -402,7 +414,12 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 // ones — exactly the semantics a RandomPartitioner range slice has — which
 // is why Cassandra scans cost only ~4x a read and scale linearly
 // (Figs 12/13).
-func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+//
+// The distributed gather must complete (and sort) before the first row can
+// be returned, so the cursor wraps the materialized result: all virtual
+// time is charged here, none during cursor consumption — the same sequence
+// the historical materialized Scan charged.
+func (s *Store) Scan(p *sim.Proc, start string, count int) (store.Cursor, error) {
 	coord := s.coordinator(p)
 	if coord == nil {
 		return nil, store.ErrUnavailable
@@ -438,7 +455,7 @@ func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, erro
 	if len(all) > count {
 		all = all[:count]
 	}
-	return all, nil
+	return store.NewSliceCursor(all), nil
 }
 
 func sortRecords(rs []store.Record) {

@@ -201,8 +201,21 @@ func (s *Store) SlabBytes() int64 {
 	return total
 }
 
-// SupportsScan implements store.Store.
-func (s *Store) SupportsScan() bool { return true }
+// Caps implements store.Store: region scans return globally key-ordered
+// rows (regions partition the key space by range), so the query layer can
+// plan against them.
+func (s *Store) Caps() store.Caps { return store.Caps{Scans: true, Queries: true} }
+
+// ScanStats implements store.ScanStatsReporter: scan-path positioning and
+// pruning counters summed across every region's LSM tree.
+func (s *Store) ScanStats() (positioned, pruned int64) {
+	for _, r := range s.regions {
+		pos, pr := r.tree.ScanStats()
+		positioned += pos
+		pruned += pr
+	}
+	return positioned, pruned
+}
 
 // regionIndex routes a key to its region by lexicographic range.
 func (s *Store) regionIndex(key string) int {
@@ -282,7 +295,11 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 // touches the region owning the start key and continues into successor
 // regions only when the first cannot satisfy the count; HBase scans
 // therefore cost about the same as reads (§5.4).
-func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+//
+// The region walk charges every RPC before returning; the cursor wraps the
+// gathered rows, so consumption is host-side only — the same virtual-time
+// sequence the historical materialized Scan charged.
+func (s *Store) Scan(p *sim.Proc, start string, count int) (store.Cursor, error) {
 	var out []store.Record
 	next := start
 	for ri := s.regionIndex(start); ri < len(s.regions) && len(out) < count; ri++ {
@@ -307,7 +324,7 @@ func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, erro
 			next = s.splits[ri]
 		}
 	}
-	return out, nil
+	return store.NewSliceCursor(out), nil
 }
 
 // Load implements store.Store.

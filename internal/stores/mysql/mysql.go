@@ -202,8 +202,10 @@ func (s *Store) SlabBytes() int64 {
 	return total
 }
 
-// SupportsScan implements store.Store.
-func (s *Store) SupportsScan() bool { return true }
+// Caps implements store.Store: range queries over the clustered index
+// return key-ordered rows (shard results are merge-sorted client-side), so
+// the query layer can plan against them.
+func (s *Store) Caps() store.Caps { return store.Caps{Scans: true, Queries: true} }
 
 func (s *Store) shard(key string) *shard { return s.shards[s.ring.Owner(key)] }
 
@@ -334,7 +336,11 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 // client-side; each shard materializes its table tail until the client
 // abandons the cursor, which is why scan throughput collapses for two or
 // more nodes (Figs 12-14).
-func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+//
+// The JDBC result set is fully fetched (and, sharded, merge-sorted) before
+// the client sees a row, so the cursor wraps the materialized result: all
+// virtual time is charged here, matching the historical materialized Scan.
+func (s *Store) Scan(p *sim.Proc, start string, count int) (store.Cursor, error) {
 	// The client-side merge needs every shard's answer; any dead shard
 	// fails the whole scan.
 	if s.downCount > 0 {
@@ -346,7 +352,7 @@ func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, erro
 		base.Roundtrip(p, sh.node, base.ReqHeader, int64(count)*base.RecordWire, func() {
 			s.scanShardLimit(p, sh, start, count, &rows)
 		})
-		return toRecords(rows, count), nil
+		return store.NewSliceCursor(toRecords(rows, count)), nil
 	}
 	var all []btree.Entry
 	for _, sh := range s.shards {
@@ -357,7 +363,7 @@ func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, erro
 		})
 		all = append(all, rows...)
 	}
-	return toRecords(mergeSorted(all), count), nil
+	return store.NewSliceCursor(toRecords(mergeSorted(all), count)), nil
 }
 
 // versionPenalty is the MVCC read-view cost of traversing unpurged history.

@@ -129,8 +129,10 @@ func (s *Store) SlabBytes() int64 {
 	return total
 }
 
-// SupportsScan implements store.Store.
-func (s *Store) SupportsScan() bool { return true }
+// Caps implements store.Store: the sharded client merges every instance's
+// sorted slice, so results are key-ordered and the query layer can plan
+// against them.
+func (s *Store) Caps() store.Caps { return store.Caps{Scans: true, Queries: true} }
 
 func (s *Store) inst(key string) *instance { return s.insts[s.ring.Owner(key)] }
 
@@ -230,8 +232,10 @@ func (s *Store) Read(p *sim.Proc, key string) (store.FieldsView, error) {
 }
 
 // Scan implements store.Store. The sharded client must consult every
-// instance (hash sharding destroys key order) and merge.
-func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+// instance (hash sharding destroys key order) and merge, so all virtual
+// time is charged before the cursor over the merged result is returned —
+// the same sequence the historical materialized Scan charged.
+func (s *Store) Scan(p *sim.Proc, start string, count int) (store.Cursor, error) {
 	// The merge needs an answer from every shard; any dead shard fails
 	// the whole scan.
 	if s.downCount > 0 {
@@ -248,7 +252,7 @@ func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, erro
 			in.loop.Release()
 		})
 	}
-	return mergeEntries(all, count), nil
+	return store.NewSliceCursor(mergeEntries(all, count)), nil
 }
 
 func mergeEntries(es []memtable.Entry, count int) []store.Record {

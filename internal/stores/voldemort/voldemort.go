@@ -149,8 +149,9 @@ func (s *Store) SlabBytes() int64 {
 	return total
 }
 
-// SupportsScan implements store.Store.
-func (s *Store) SupportsScan() bool { return false }
+// Caps implements store.Store: no scans (as in the paper's YCSB client),
+// hence no query-layer support either.
+func (s *Store) Caps() store.Caps { return store.Caps{} }
 
 func (s *Store) serverIndex(key string) int {
 	return s.ring.Owner(key) % len(s.nodes)
@@ -245,7 +246,7 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 }
 
 // Scan implements store.Store: unsupported, as in the paper's YCSB client.
-func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+func (s *Store) Scan(p *sim.Proc, start string, count int) (store.Cursor, error) {
 	return nil, store.ErrScansUnsupported
 }
 

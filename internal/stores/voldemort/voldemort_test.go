@@ -116,8 +116,8 @@ func TestScansRejected(t *testing.T) {
 		}
 	})
 	e.Run(0)
-	if s.SupportsScan() {
-		t.Fatal("SupportsScan must be false")
+	if s.Caps().Scans {
+		t.Fatal("Caps().Scans must be false")
 	}
 }
 

@@ -126,8 +126,10 @@ func (s *Store) SlabBytes() int64 {
 	return total
 }
 
-// SupportsScan implements store.Store.
-func (s *Store) SupportsScan() bool { return true }
+// Caps implements store.Store: the multi-partition scan gathers and sorts
+// every site's rows, so results are key-ordered and the query layer can
+// plan against them.
+func (s *Store) Caps() store.Caps { return store.Caps{Scans: true, Queries: true} }
 
 // route returns the host and site owning key.
 func (s *Store) route(key string) (*host, *site) {
@@ -223,8 +225,10 @@ func (s *Store) Update(p *sim.Proc, key string, f store.Fields) error {
 }
 
 // Scan implements store.Store: a multi-partition transaction that blocks
-// one site on every host while the fragment runs.
-func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+// one site on every host while the fragment runs. The transaction commits
+// — every fragment charged, rows gathered and sorted — before the cursor
+// is returned, matching the historical materialized Scan's charges.
+func (s *Store) Scan(p *sim.Proc, start string, count int) (store.Cursor, error) {
 	ai := p.Rand().Intn(len(s.hosts))
 	// A multi-partition transaction needs a fragment from every host.
 	if s.downCount > 0 {
@@ -259,7 +263,7 @@ func (s *Store) Scan(p *sim.Proc, start string, count int) ([]store.Record, erro
 	if len(all) > count {
 		all = all[:count]
 	}
-	return all, nil
+	return store.NewSliceCursor(all), nil
 }
 
 // Load implements store.Store.

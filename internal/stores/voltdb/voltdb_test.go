@@ -117,7 +117,7 @@ func TestMultiPartitionScanBlocksAllSites(t *testing.T) {
 		s.Load(store.Key(i), store.MakeFields(i))
 	}
 	e.Go("r", func(p *sim.Proc) {
-		recs, err := s.Scan(p, store.Key(0), 20)
+		recs, err := store.ScanAll(p, s, store.Key(0), 20)
 		if err != nil {
 			t.Errorf("scan: %v", err)
 			return

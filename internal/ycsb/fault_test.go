@@ -11,8 +11,8 @@ import (
 // in which the client's entire key range is on dead nodes.
 type downStore struct{}
 
-func (downStore) Name() string       { return "down" }
-func (downStore) SupportsScan() bool { return true }
+func (downStore) Name() string     { return "down" }
+func (downStore) Caps() store.Caps { return store.Caps{Scans: true} }
 func (downStore) Insert(p *sim.Proc, key string, f store.Fields) error {
 	return store.ErrUnavailable
 }
@@ -22,7 +22,7 @@ func (downStore) Update(p *sim.Proc, key string, f store.Fields) error {
 func (downStore) Read(p *sim.Proc, key string) (store.FieldsView, error) {
 	return store.FieldsView{}, store.ErrUnavailable
 }
-func (downStore) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+func (downStore) Scan(p *sim.Proc, start string, count int) (store.Cursor, error) {
 	return nil, store.ErrUnavailable
 }
 func (downStore) Load(key string, f store.Fields) error { return nil }

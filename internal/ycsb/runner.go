@@ -185,7 +185,16 @@ func Run(e *sim.Engine, cfg RunConfig) (*Result, error) {
 					_, err = cfg.Store.Read(p, key)
 				case stats.OpScan:
 					key := makeKey(chooser.Choose(inserted, rng.Float64(), rng.Float64()))
-					_, err = cfg.Store.Scan(p, key, cfg.Workload.ScanLength)
+					var cur store.Cursor
+					cur, err = cfg.Store.Scan(p, key, cfg.Workload.ScanLength)
+					if err == nil {
+						// Drain like the YCSB client iterating its result
+						// set; all virtual time was charged at open, so
+						// the drain is host-side only.
+						for cur.Next() {
+						}
+						err = cur.Close()
+					}
 				case stats.OpInsert:
 					id := inserted
 					inserted++

@@ -20,8 +20,8 @@ func newFake(r, w, s sim.Time) *fakeStore {
 	return &fakeStore{readLat: r, writeLat: w, scanLat: s, data: map[string]store.Fields{}}
 }
 
-func (f *fakeStore) Name() string       { return "fake" }
-func (f *fakeStore) SupportsScan() bool { return true }
+func (f *fakeStore) Name() string     { return "fake" }
+func (f *fakeStore) Caps() store.Caps { return store.Caps{Scans: true} }
 func (f *fakeStore) Insert(p *sim.Proc, key string, fl store.Fields) error {
 	p.Sleep(f.writeLat)
 	f.data[key] = fl
@@ -39,10 +39,10 @@ func (f *fakeStore) Read(p *sim.Proc, key string) (store.FieldsView, error) {
 	}
 	return store.FieldsView{}, store.ErrNotFound
 }
-func (f *fakeStore) Scan(p *sim.Proc, start string, count int) ([]store.Record, error) {
+func (f *fakeStore) Scan(p *sim.Proc, start string, count int) (store.Cursor, error) {
 	p.Sleep(f.scanLat)
 	f.scans++
-	return nil, nil
+	return store.NewSliceCursor(nil), nil
 }
 func (f *fakeStore) Load(key string, fl store.Fields) error {
 	f.data[key] = fl
